@@ -1,0 +1,196 @@
+// Command wetune is the CLI front end: discover rules, verify rules, rewrite
+// queries, and regenerate the paper's evaluation tables.
+//
+// Usage:
+//
+//	wetune discover [-size N] [-budget 30s]     run rule discovery
+//	wetune rules                                print the Table 7 rule library
+//	wetune verify                               verify the rule library with both verifiers
+//	wetune rewrite -q "SELECT ..."              rewrite one query over the demo schema
+//	wetune bench [experiment]                   regenerate evaluation artifacts
+//	                                            (table1 study50 discovery table7 apps
+//	                                             calcite latency casestudy verifiers
+//	                                             timeout table6 ablations reduction | all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wetune"
+	"wetune/internal/bench"
+	"wetune/internal/rules"
+	"wetune/internal/spes"
+	"wetune/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "discover":
+		cmdDiscover(os.Args[2:])
+	case "rules":
+		cmdRules()
+	case "verify":
+		cmdVerify()
+	case "rewrite":
+		cmdRewrite(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|rewrite|bench> [flags]")
+}
+
+func cmdDiscover(args []string) {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	size := fs.Int("size", 2, "max template size (paper uses 4; expensive above 2)")
+	budget := fs.Duration("budget", 60*time.Second, "wall-clock budget")
+	fs.Parse(args)
+
+	res := wetune.Discover(wetune.DiscoveryOptions{MaxTemplateSize: *size, Budget: *budget})
+	fmt.Printf("templates: %d; pairs tried: %d; prover calls: %d; rules: %d\n",
+		res.Templates, res.PairsTried, res.ProverCalls, len(res.Rules))
+	for i, r := range res.Rules {
+		fmt.Printf("%4d  %s\n      => %s\n      under %s\n", i+1, r.Source, r.Destination, r.Constraints)
+	}
+}
+
+func cmdRules() {
+	for _, r := range wetune.BuiltinRules() {
+		fmt.Printf("rule %3d  %-32s verifier=%s calcite=%v mssql=%s\n",
+			r.No, r.Name, r.Verifier, r.Calcite, r.MS)
+		fmt.Printf("          %s\n       => %s\n", r.Src, r.Dest)
+		fmt.Printf("          %s\n", r.Constraints)
+	}
+}
+
+func cmdVerify() {
+	for _, r := range rules.Table7() {
+		rep := verify.Verify(r.Src, r.Dest, r.Constraints)
+		sOK, _ := spes.VerifyRule(r.Src, r.Dest, r.Constraints)
+		fmt.Printf("rule %3d  %-32s builtin=%-10v spes=%v (paper: %s)\n",
+			r.No, r.Name, rep.Outcome, sOK, r.Verifier)
+	}
+}
+
+func cmdRewrite(args []string) {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
+	fs.Parse(args)
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "rewrite: -q is required")
+		os.Exit(2)
+	}
+	schema := demoSchema()
+	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
+	out, applied, err := opt.OptimizeSQL(*query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("original: ", *query)
+	fmt.Println("rewritten:", out)
+	if len(applied) == 0 {
+		fmt.Println("(no rule applied)")
+	}
+	for _, a := range applied {
+		fmt.Printf("  applied rule %d (%s)\n", a.RuleNo, a.RuleName)
+	}
+}
+
+func demoSchema() *wetune.Schema {
+	s := wetune.NewSchema()
+	s.AddTable(&wetune.TableDef{
+		Name: "labels",
+		Columns: []wetune.Column{
+			{Name: "id", Type: wetune.TInt, NotNull: true},
+			{Name: "title", Type: wetune.TString},
+			{Name: "project_id", Type: wetune.TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&wetune.TableDef{
+		Name: "notes",
+		Columns: []wetune.Column{
+			{Name: "id", Type: wetune.TInt, NotNull: true},
+			{Name: "type", Type: wetune.TString},
+			{Name: "commit_id", Type: wetune.TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&wetune.TableDef{
+		Name: "projects",
+		Columns: []wetune.Column{
+			{Name: "id", Type: wetune.TInt, NotNull: true},
+			{Name: "name", Type: wetune.TString},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&wetune.TableDef{
+		Name: "issues",
+		Columns: []wetune.Column{
+			{Name: "id", Type: wetune.TInt, NotNull: true},
+			{Name: "project_id", Type: wetune.TInt, NotNull: true},
+			{Name: "title", Type: wetune.TString},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []wetune.ForeignKey{
+			{Columns: []string{"project_id"}, RefTable: "projects", RefColumns: []string{"id"}},
+		},
+	})
+	return s
+}
+
+func cmdBench(args []string) {
+	which := "all"
+	if len(args) > 0 {
+		which = args[0]
+	}
+	experiments := []struct {
+		name string
+		run  func() *bench.Report
+	}{
+		{"table1", bench.Table1},
+		{"study50", bench.Study50},
+		{"discovery", func() *bench.Report { return bench.RuleDiscovery(2) }},
+		{"table7", bench.Table7Verification},
+		{"apps", func() *bench.Report { return bench.AppRewrites(426) }},
+		{"calcite", bench.CalciteRewrites},
+		{"latency", func() *bench.Report { return bench.WorkloadsLatency(20, 60, 3) }},
+		{"casestudy", func() *bench.Report { return bench.CaseStudy(50000) }},
+		{"verifiers", func() *bench.Report { return bench.VerifierComparison(2) }},
+		{"timeout", bench.TimeoutStudy},
+		{"table6", bench.Table6Capabilities},
+		{"ablations", nil}, // expanded below
+		{"reduction", bench.RuleReduction},
+	}
+	ran := false
+	for _, e := range experiments {
+		if which != "all" && which != e.name {
+			continue
+		}
+		ran = true
+		if e.name == "ablations" {
+			fmt.Println(bench.AblationConstraintPruning())
+			fmt.Println(bench.AblationVerifierPaths())
+			fmt.Println(bench.AblationRewriteSearch())
+			continue
+		}
+		fmt.Println(e.run())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}

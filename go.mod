@@ -1,0 +1,3 @@
+module wetune
+
+go 1.22

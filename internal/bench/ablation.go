@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"time"
+
+	"wetune/internal/datagen"
+	"wetune/internal/engine"
+	"wetune/internal/enum"
+	"wetune/internal/plan"
+	"wetune/internal/rewrite"
+	"wetune/internal/rules"
+	"wetune/internal/template"
+	"wetune/internal/verify"
+	"wetune/internal/workload"
+)
+
+// AblationConstraintPruning compares the rule search with and without the
+// closure/implication pruning of §4.3.
+func AblationConstraintPruning() *Report {
+	r := NewReport("Ablation: constraint-search pruning (4.3)")
+	templates := template.Enumerate(template.EnumOptions{MaxSize: 2})
+	run := func(disable bool) (int64, int64, time.Duration) {
+		start := time.Now()
+		res := enum.Search(enum.Options{
+			Templates:      templates,
+			Prover:         enum.AlgebraicProver,
+			DisablePruning: disable,
+			Workers:        2,
+			Deadline:       20 * time.Second,
+		})
+		return res.Stats.ProverCalls, res.Stats.RulesFound, time.Since(start)
+	}
+	prunedCalls, prunedRules, prunedTime := run(false)
+	naiveCalls, naiveRules, naiveTime := run(true)
+	r.Printf("with pruning:    %6d prover calls, %3d rules, %v", prunedCalls, prunedRules, prunedTime)
+	r.Printf("without pruning: %6d prover calls, %3d rules, %v", naiveCalls, naiveRules, naiveTime)
+	if naiveCalls > 0 {
+		r.Printf("pruning saves %.0f%% of prover calls", 100*(1-float64(prunedCalls)/float64(naiveCalls)))
+	}
+	r.Metric("pruned_calls", float64(prunedCalls))
+	r.Metric("naive_calls", float64(naiveCalls))
+	return r
+}
+
+// AblationVerifierPaths compares the algebraic fast path against the
+// FOL+SMT path on the Table 7 rules.
+func AblationVerifierPaths() *Report {
+	r := NewReport("Ablation: verifier paths (algebraic vs SMT)")
+	run := func(opts verify.Options) (int, time.Duration) {
+		ok := 0
+		start := time.Now()
+		for _, rule := range rules.Table7() {
+			if verify.VerifyOpts(rule.Src, rule.Dest, rule.Constraints, opts).Outcome == verify.Verified {
+				ok++
+			}
+		}
+		return ok, time.Since(start)
+	}
+	algOpts := verify.DefaultOptions()
+	algOpts.SkipSMT = true
+	smtOpts := verify.DefaultOptions()
+	smtOpts.SkipAlgebraic = true
+	smtOpts.SMT.Deadline = 500 * time.Millisecond
+	bothOpts := verify.DefaultOptions()
+
+	algOK, algT := run(algOpts)
+	smtOK, smtT := run(smtOpts)
+	bothOK, bothT := run(bothOpts)
+	r.Printf("algebraic only: %2d/35 in %v", algOK, algT)
+	r.Printf("SMT only:       %2d/35 in %v", smtOK, smtT)
+	r.Printf("combined:       %2d/35 in %v", bothOK, bothT)
+	r.Metric("algebraic", float64(algOK))
+	r.Metric("smt", float64(smtOK))
+	r.Metric("combined", float64(bothOK))
+	return r
+}
+
+// AblationRewriteSearch compares size-greedy rewriting against cost-guided
+// rewriting (§6's use of the cost estimator).
+func AblationRewriteSearch() *Report {
+	r := NewReport("Ablation: rewrite search guidance")
+	app := workload.Apps()[0]
+	db := engine.NewDB(app.Schema)
+	if err := datagen.Populate(db, datagen.Options{Rows: 5000, Seed: 13}); err != nil {
+		r.Printf("populate: %v", err)
+		return r
+	}
+	sizeOnly := rewrite.NewRewriter(workload.WeTuneRules(), app.Schema)
+	costGuided := rewrite.NewRewriter(workload.WeTuneRules(), app.Schema)
+	costGuided.DB = db
+
+	var sizeCost, guidedCost float64
+	var applied1, applied2 int
+	for _, q := range workload.GenerateQueries(app, 150) {
+		p, err := plan.BuildSQL(q.SQL, app.Schema)
+		if err != nil {
+			continue
+		}
+		o1, a1 := sizeOnly.Rewrite(p)
+		o2, a2 := costGuided.Rewrite(p)
+		sizeCost += db.EstimateCost(o1)
+		guidedCost += db.EstimateCost(o2)
+		applied1 += len(a1)
+		applied2 += len(a2)
+	}
+	r.Printf("size-greedy:  total estimated cost %12.0f (%d rule applications)", sizeCost, applied1)
+	r.Printf("cost-guided:  total estimated cost %12.0f (%d rule applications)", guidedCost, applied2)
+	r.Metric("size_cost", sizeCost)
+	r.Metric("guided_cost", guidedCost)
+	return r
+}
+
+// RuleReduction reproduces §7's redundant-rule elimination over Table 7 plus
+// the discovered extras.
+func RuleReduction() *Report {
+	r := NewReport("Rule reduction (7)")
+	all := rules.All()
+	kept, removed := rewrite.Reduce(all)
+	r.Printf("input rules: %d; kept %d; removed %d as reducible", len(all), len(kept), len(removed))
+	for _, rm := range removed {
+		r.Printf("  reducible: rule %d (%s)", rm.No, rm.Name)
+	}
+	r.Metric("kept", float64(len(kept)))
+	r.Metric("removed", float64(len(removed)))
+	return r
+}

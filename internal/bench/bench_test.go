@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The bench package's own tests exercise each experiment at reduced scale
+// and assert the headline *shape* the paper reports (who wins, roughly by
+// how much); the repository-root testing.B benchmarks run them at full
+// scale.
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	t.Log("\n" + r.String())
+	if r.Metrics["wetune_beats_existing"] < 2 {
+		t.Error("WeTune should optimize both motivating queries beyond the baseline")
+	}
+	// q0 must fully reduce to a single filter (no IN left).
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "wetune") {
+		t.Error("missing wetune rows")
+	}
+}
+
+func TestStudy50(t *testing.T) {
+	r := Study50()
+	t.Log("\n" + r.String())
+	w := r.Metrics["fixed_WeTune"]
+	m := r.Metrics["fixed_SQL-Server-like"]
+	c := r.Metrics["fixed_Calcite-like"]
+	if !(w > m && m > c) {
+		t.Errorf("expected WeTune > SQL Server > Calcite, got %v/%v/%v", w, m, c)
+	}
+	if w < 30 {
+		t.Errorf("WeTune fixes %v; paper reports 38", w)
+	}
+}
+
+func TestRuleDiscovery(t *testing.T) {
+	r := RuleDiscovery(2)
+	t.Log("\n" + r.String())
+	if r.Metrics["rules_found"] < 3 {
+		t.Errorf("discovery found only %v rules at size 2", r.Metrics["rules_found"])
+	}
+	if r.Metrics["templates_size4"] < 1000 {
+		t.Errorf("size-4 template count %v implausible", r.Metrics["templates_size4"])
+	}
+}
+
+func TestTable7Verification(t *testing.T) {
+	r := Table7Verification()
+	t.Log("\n" + r.String())
+	if r.Metrics["builtin"] < 25 {
+		t.Errorf("built-in verifies %v/35; paper reports 31", r.Metrics["builtin"])
+	}
+	if r.Metrics["spes"] < 12 {
+		t.Errorf("SPES verifies %v/35; paper reports 19", r.Metrics["spes"])
+	}
+}
+
+func TestAppRewritesSmall(t *testing.T) {
+	r := AppRewrites(60) // 1200 queries
+	t.Log("\n" + r.String())
+	total := r.Metrics["total"]
+	rewritten := r.Metrics["rewritten"]
+	beyond := r.Metrics["beyond_baseline"]
+	if rewritten == 0 || beyond == 0 {
+		t.Fatal("no rewrites measured")
+	}
+	// The paper's proportions: ~8% rewritten, ~37% of those beyond baseline.
+	if frac := rewritten / total; frac < 0.02 || frac > 0.25 {
+		t.Errorf("rewritten fraction %.3f out of expected band", frac)
+	}
+	if beyond > rewritten {
+		t.Error("beyond-baseline exceeds total rewritten")
+	}
+}
+
+func TestCalciteRewrites(t *testing.T) {
+	r := CalciteRewrites()
+	t.Log("\n" + r.String())
+	if r.Metrics["total"] != 464 {
+		t.Errorf("total = %v, want 464", r.Metrics["total"])
+	}
+	if r.Metrics["rewritten"] < 20 {
+		t.Errorf("rewritten = %v; paper reports 120", r.Metrics["rewritten"])
+	}
+}
+
+func TestWorkloadsLatencySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	r := WorkloadsLatency(100, 40, 2) // 10K rows everywhere, small corpus slice
+	t.Log("\n" + r.String())
+	if r.Metrics["ge10_A"] == 0 {
+		t.Error("no latency improvement measured on workload A")
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	r := CaseStudy(20000)
+	t.Log("\n" + r.String())
+	if r.Metrics["rules_applied"] == 0 {
+		t.Error("case study applied no rules")
+	}
+	if r.Metrics["latency_reduction_pct"] < 10 {
+		t.Errorf("latency reduction %.0f%%; expected a clear win", r.Metrics["latency_reduction_pct"])
+	}
+}
+
+func TestVerifierComparison(t *testing.T) {
+	r := VerifierComparison(2)
+	t.Log("\n" + r.String())
+	if r.Metrics["builtin_pairs"] < 40 {
+		t.Errorf("builtin verifies %v pairs; paper reports 73", r.Metrics["builtin_pairs"])
+	}
+	if r.Metrics["spes_pairs"] < 40 {
+		t.Errorf("SPES verifies %v pairs; paper reports 95", r.Metrics["spes_pairs"])
+	}
+}
+
+func TestTimeoutStudy(t *testing.T) {
+	r := TimeoutStudy()
+	t.Log("\n" + r.String())
+	if r.Metrics["wrongly_verified"] != 0 {
+		t.Errorf("%v incorrect rules wrongly verified: soundness violation", r.Metrics["wrongly_verified"])
+	}
+}
+
+func TestTable6Capabilities(t *testing.T) {
+	r := Table6Capabilities()
+	t.Log("\n" + r.String())
+	if len(r.Lines) < 6 {
+		t.Error("capability matrix incomplete")
+	}
+}
+
+func TestAblationVerifierPaths(t *testing.T) {
+	r := AblationVerifierPaths()
+	t.Log("\n" + r.String())
+	if r.Metrics["combined"] < r.Metrics["algebraic"] {
+		t.Error("combined verifier should not be weaker than algebraic alone")
+	}
+}
+
+func TestRuleReduction(t *testing.T) {
+	r := RuleReduction()
+	t.Log("\n" + r.String())
+	if r.Metrics["kept"] == 0 {
+		t.Error("reduction removed everything")
+	}
+}

@@ -1,0 +1,44 @@
+// Package bench regenerates every evaluation artifact of the paper (§8):
+// each experiment builds the same rows the paper reports, printed as a
+// Report. The testing.B benchmarks in the repository root and the `wetune
+// bench` CLI subcommand both drive these functions.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's formatted output.
+type Report struct {
+	Title string
+	Lines []string
+	// Metrics holds headline numbers for programmatic assertions.
+	Metrics map[string]float64
+}
+
+// NewReport creates an empty report.
+func NewReport(title string) *Report {
+	return &Report{Title: title, Metrics: map[string]float64{}}
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Metric records a headline number and prints it.
+func (r *Report) Metric(name string, v float64) {
+	r.Metrics[name] = v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== " + r.Title + " ==\n")
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

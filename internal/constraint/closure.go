@@ -1,0 +1,187 @@
+package constraint
+
+import (
+	"wetune/internal/template"
+)
+
+// Closure computes the implication closure of a constraint set (§4.3): the
+// smallest superset closed under the derivation rules below. The rule search
+// skips subsets that are not closures, because removing a constraint that the
+// remainder still implies yields the same semantic set.
+//
+// Derivation rules:
+//
+//	RelEq, AttrsEq, PredEq, AggrEq are symmetric and transitive;
+//	RelEq(r1,r2)                       => AttrsEq(a_r1, a_r2) (internal);
+//	AttrsEq(a,b), SubAttrs(a,c)        => SubAttrs(b,c);
+//	AttrsEq(b,c), SubAttrs(a,b)        => SubAttrs(a,c);
+//	SubAttrs(a,b), SubAttrs(b,c)       => SubAttrs(a,c);
+//	RelEq(r,r'), Unique(r,a)           => Unique(r',a); same for NotNull;
+//	AttrsEq(a,a'), Unique(r,a)         => Unique(r,a'); same for NotNull;
+//	RelEq / AttrsEq congruence on every RefAttrs argument.
+func Closure(s *Set) *Set {
+	out := NewSet(s.Items()...)
+	for changed := true; changed; {
+		changed = false
+		before := out.Len()
+
+		relEq := equivClasses(out, RelEq, template.KRel)
+		attrsEq := equivClasses(out, AttrsEq, template.KAttrs)
+		predEq := equivClasses(out, PredEq, template.KPred)
+		funcEq := equivClasses(out, AggrEq, template.KFunc)
+
+		// Transitivity of the equivalences.
+		addEquivPairs(out, relEq, RelEq)
+		addEquivPairs(out, attrsEq, AttrsEq)
+		addEquivPairs(out, predEq, PredEq)
+		addEquivPairs(out, funcEq, AggrEq)
+
+		// Congruence: rewrite each constraint's symbols across their
+		// equivalence classes.
+		variants := func(s template.Sym) []template.Sym {
+			switch s.Kind {
+			case template.KRel:
+				return classOf(relEq, s)
+			case template.KAttrs:
+				return classOf(attrsEq, s)
+			case template.KAttrsOf:
+				// a_r1 == a_r2 when r1 == r2.
+				var out []template.Sym
+				for _, r := range classOf(relEq, template.Sym{Kind: template.KRel, ID: s.ID}) {
+					out = append(out, template.AttrsOf(r))
+				}
+				return out
+			case template.KPred:
+				return classOf(predEq, s)
+			case template.KFunc:
+				return classOf(funcEq, s)
+			}
+			return []template.Sym{s}
+		}
+		for _, c := range out.Items() {
+			n := c.Kind.arity()
+			var rec func(i int, syms []template.Sym)
+			rec = func(i int, syms []template.Sym) {
+				if i == n {
+					out.add(New(c.Kind, syms...))
+					return
+				}
+				for _, v := range variants(c.Syms[i]) {
+					rec(i+1, append(syms[:i:i], v))
+				}
+			}
+			rec(0, make([]template.Sym, n))
+		}
+
+		// SubAttrs transitivity.
+		subs := out.ByKind(SubAttrs)
+		for _, c1 := range subs {
+			for _, c2 := range subs {
+				if c1.Syms[1] == c2.Syms[0] && c1.Syms[0] != c2.Syms[1] {
+					out.add(New(SubAttrs, c1.Syms[0], c2.Syms[1]))
+				}
+			}
+		}
+
+		if out.Len() != before {
+			changed = true
+		}
+	}
+	return out
+}
+
+// Implies reports whether the closure of s contains c.
+func Implies(s *Set, c C) bool {
+	if s.Has(c) {
+		return true
+	}
+	return Closure(s).Has(c)
+}
+
+// IsClosedUnder reports whether removing c from s leaves a set that still
+// implies c — in that case s \ {c} is semantically the same set and the
+// search can skip it.
+func IsClosedUnder(s *Set, c C) bool {
+	return Implies(s.Without(c), c)
+}
+
+type equiv map[template.Sym][]template.Sym
+
+func equivClasses(s *Set, k Kind, symKind template.SymKind) equiv {
+	parent := map[template.Sym]template.Sym{}
+	var find func(x template.Sym) template.Sym
+	find = func(x template.Sym) template.Sym {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b template.Sym) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, c := range s.ByKind(k) {
+		union(c.Syms[0], c.Syms[1])
+	}
+	classes := equiv{}
+	for x := range parent {
+		root := find(x)
+		classes[root] = append(classes[root], x)
+	}
+	// Index every member by itself for O(1) lookup.
+	byMember := equiv{}
+	for _, members := range classes {
+		for _, m := range members {
+			byMember[m] = members
+		}
+	}
+	_ = symKind
+	return byMember
+}
+
+func classOf(e equiv, s template.Sym) []template.Sym {
+	if members, ok := e[s]; ok {
+		return members
+	}
+	return []template.Sym{s}
+}
+
+func addEquivPairs(out *Set, e equiv, k Kind) {
+	seen := map[template.Sym]bool{}
+	for m, members := range e {
+		if seen[m] {
+			continue
+		}
+		for _, x := range members {
+			seen[x] = true
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				out.add(New(k, members[i], members[j]))
+			}
+		}
+	}
+}
+
+// UnionFind builds the union-find representative mapping for one equivalence
+// kind; exported for the verifier's symbol unification step (§5.1).
+func UnionFind(s *Set, k Kind) map[template.Sym]template.Sym {
+	e := equivClasses(s, k, 0)
+	rep := map[template.Sym]template.Sym{}
+	for m, members := range e {
+		best := m
+		for _, x := range members {
+			if less(x, best) {
+				best = x
+			}
+		}
+		rep[m] = best
+	}
+	return rep
+}

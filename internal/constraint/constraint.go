@@ -1,0 +1,177 @@
+// Package constraint implements WeTune's constraint language (§4.2): the
+// predicates that relate symbols of a source and destination template, the
+// exhaustive enumeration of the candidate set C*, and the implication
+// ("closure") reasoning used to prune the search for most-relaxed sets.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wetune/internal/template"
+)
+
+// Kind identifies a constraint predicate.
+type Kind int
+
+// Constraint kinds. AggrEq is the §5.2 extension for aggregate functions.
+const (
+	RelEq Kind = iota
+	AttrsEq
+	PredEq
+	SubAttrs
+	RefAttrs
+	Unique
+	NotNull
+	AggrEq
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RelEq:
+		return "RelEq"
+	case AttrsEq:
+		return "AttrsEq"
+	case PredEq:
+		return "PredEq"
+	case SubAttrs:
+		return "SubAttrs"
+	case RefAttrs:
+		return "RefAttrs"
+	case Unique:
+		return "Unique"
+	case NotNull:
+		return "NotNull"
+	case AggrEq:
+		return "AggrEq"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// arity returns the number of symbol arguments per kind.
+func (k Kind) arity() int {
+	switch k {
+	case RefAttrs:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// C is one constraint: Kind applied to Syms[:Kind.arity()].
+type C struct {
+	Kind Kind
+	Syms [4]template.Sym
+}
+
+// New builds a constraint, canonicalizing symmetric kinds so that equal
+// constraints compare equal.
+func New(k Kind, syms ...template.Sym) C {
+	c := C{Kind: k}
+	copy(c.Syms[:], syms)
+	switch k {
+	case RelEq, AttrsEq, PredEq, AggrEq:
+		if less(c.Syms[1], c.Syms[0]) {
+			c.Syms[0], c.Syms[1] = c.Syms[1], c.Syms[0]
+		}
+	}
+	return c
+}
+
+func less(a, b template.Sym) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+func (c C) String() string {
+	n := c.Kind.arity()
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = c.Syms[i].String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Kind, strings.Join(parts, ","))
+}
+
+// Set is an immutable-ish ordered set of constraints.
+type Set struct {
+	items []C
+	index map[C]bool
+}
+
+// NewSet builds a set from the given constraints, deduplicating.
+func NewSet(cs ...C) *Set {
+	s := &Set{index: map[C]bool{}}
+	for _, c := range cs {
+		s.add(c)
+	}
+	return s
+}
+
+func (s *Set) add(c C) {
+	if !s.index[c] {
+		s.index[c] = true
+		s.items = append(s.items, c)
+	}
+}
+
+// Items returns the constraints in insertion order.
+func (s *Set) Items() []C { return append([]C(nil), s.items...) }
+
+// Len returns the number of constraints.
+func (s *Set) Len() int { return len(s.items) }
+
+// Has reports membership.
+func (s *Set) Has(c C) bool { return s.index[c] }
+
+// Without returns a new set with c removed.
+func (s *Set) Without(c C) *Set {
+	out := NewSet()
+	for _, it := range s.items {
+		if it != c {
+			out.add(it)
+		}
+	}
+	return out
+}
+
+// Union returns a new set with all constraints of both sets.
+func (s *Set) Union(o *Set) *Set {
+	out := NewSet(s.items...)
+	for _, it := range o.items {
+		out.add(it)
+	}
+	return out
+}
+
+// Key is a canonical string identifying the set's contents, independent of
+// insertion order. Used for memoization in the rule search.
+func (s *Set) Key() string {
+	strs := make([]string, len(s.items))
+	for i, c := range s.items {
+		strs[i] = c.String()
+	}
+	sort.Strings(strs)
+	return strings.Join(strs, ";")
+}
+
+// ByKind returns the constraints of one kind.
+func (s *Set) ByKind(k Kind) []C {
+	var out []C
+	for _, c := range s.items {
+		if c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (s *Set) String() string {
+	strs := make([]string, len(s.items))
+	for i, c := range s.items {
+		strs[i] = c.String()
+	}
+	return "{" + strings.Join(strs, ", ") + "}"
+}

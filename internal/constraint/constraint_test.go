@@ -1,0 +1,200 @@
+package constraint
+
+import (
+	"testing"
+
+	"wetune/internal/template"
+)
+
+func r(id int) template.Sym { return template.Sym{Kind: template.KRel, ID: id} }
+func a(id int) template.Sym { return template.Sym{Kind: template.KAttrs, ID: id} }
+func p(id int) template.Sym { return template.Sym{Kind: template.KPred, ID: id} }
+
+func TestNewCanonicalizesSymmetricKinds(t *testing.T) {
+	c1 := New(RelEq, r(2), r(1))
+	c2 := New(RelEq, r(1), r(2))
+	if c1 != c2 {
+		t.Fatalf("RelEq not canonicalized: %v vs %v", c1, c2)
+	}
+	// SubAttrs is ordered and must not be swapped.
+	s1 := New(SubAttrs, a(2), a(1))
+	s2 := New(SubAttrs, a(1), a(2))
+	if s1 == s2 {
+		t.Fatal("SubAttrs wrongly canonicalized")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(New(RelEq, r(0), r(1)), New(RelEq, r(1), r(0)), New(Unique, r(0), a(0)))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", s.Len())
+	}
+	if !s.Has(New(RelEq, r(0), r(1))) {
+		t.Error("missing member")
+	}
+	w := s.Without(New(Unique, r(0), a(0)))
+	if w.Len() != 1 || w.Has(New(Unique, r(0), a(0))) {
+		t.Error("Without failed")
+	}
+	if s.Len() != 2 {
+		t.Error("Without mutated the receiver")
+	}
+}
+
+func TestSetKeyOrderIndependent(t *testing.T) {
+	s1 := NewSet(New(RelEq, r(0), r(1)), New(Unique, r(0), a(0)))
+	s2 := NewSet(New(Unique, r(0), a(0)), New(RelEq, r(0), r(1)))
+	if s1.Key() != s2.Key() {
+		t.Fatalf("keys differ: %q vs %q", s1.Key(), s2.Key())
+	}
+}
+
+func TestEnumerateFigure2(t *testing.T) {
+	// Source: InSub_a0(InSub_a0(r0, r1), r2); dest: InSub_a1(r3, r4).
+	src := template.InSub(a(0), template.InSub(a(0), template.Input(r(0)), template.Input(r(1))), template.Input(r(2)))
+	dest := template.InSub(a(1), template.Input(r(3)), template.Input(r(4)))
+	cs := Enumerate(src, dest)
+
+	// The constraints of the paper's Figure 2 must all be present.
+	needed := []C{
+		New(RelEq, r(1), r(2)), // t2 = t2'
+		New(RelEq, r(1), r(4)), // t2 = t4
+		New(RelEq, r(0), r(3)), // t1 = t3
+		New(AttrsEq, a(0), a(1)),
+		New(SubAttrs, a(0), template.AttrsOf(r(0))), // c0 from t1
+	}
+	for _, c := range needed {
+		if !cs.Has(c) {
+			t.Errorf("C* missing %v", c)
+		}
+	}
+}
+
+func TestEnumerateExcludesDestOnly(t *testing.T) {
+	src := template.Proj(a(0), template.Input(r(0)))
+	dest := template.Proj(a(1), template.Input(r(1)))
+	cs := Enumerate(src, dest)
+	// Unique(r1, a1) involves only destination symbols: useless.
+	if cs.Has(New(Unique, r(1), a(1))) {
+		t.Error("dest-only constraint not excluded")
+	}
+	// Cross constraints must exist.
+	if !cs.Has(New(RelEq, r(0), r(1))) || !cs.Has(New(AttrsEq, a(0), a(1))) {
+		t.Error("cross constraints missing")
+	}
+}
+
+func TestClosureTransitivity(t *testing.T) {
+	s := NewSet(New(RelEq, r(0), r(1)), New(RelEq, r(1), r(2)))
+	cl := Closure(s)
+	if !cl.Has(New(RelEq, r(0), r(2))) {
+		t.Error("RelEq transitivity missing")
+	}
+}
+
+func TestClosureCongruence(t *testing.T) {
+	s := NewSet(
+		New(RelEq, r(0), r(1)),
+		New(Unique, r(0), a(0)),
+		New(AttrsEq, a(0), a(1)),
+	)
+	cl := Closure(s)
+	for _, want := range []C{
+		New(Unique, r(1), a(0)),
+		New(Unique, r(0), a(1)),
+		New(Unique, r(1), a(1)),
+	} {
+		if !cl.Has(want) {
+			t.Errorf("closure missing %v", want)
+		}
+	}
+}
+
+func TestClosureSubAttrs(t *testing.T) {
+	s := NewSet(
+		New(SubAttrs, a(0), a(1)),
+		New(SubAttrs, a(1), a(2)),
+		New(AttrsEq, a(0), a(3)),
+	)
+	cl := Closure(s)
+	if !cl.Has(New(SubAttrs, a(0), a(2))) {
+		t.Error("SubAttrs transitivity missing")
+	}
+	if !cl.Has(New(SubAttrs, a(3), a(1))) {
+		t.Error("SubAttrs congruence under AttrsEq missing")
+	}
+}
+
+func TestClosureAttrsOfUnderRelEq(t *testing.T) {
+	s := NewSet(
+		New(RelEq, r(0), r(1)),
+		New(SubAttrs, a(0), template.AttrsOf(r(0))),
+	)
+	cl := Closure(s)
+	if !cl.Has(New(SubAttrs, a(0), template.AttrsOf(r(1)))) {
+		t.Error("SubAttrs should transfer to the equivalent relation's attrs")
+	}
+}
+
+func TestImpliesAndIsClosedUnder(t *testing.T) {
+	s := NewSet(New(RelEq, r(0), r(1)), New(RelEq, r(1), r(2)), New(RelEq, r(0), r(2)))
+	// r0=r2 is implied by the other two.
+	if !IsClosedUnder(s, New(RelEq, r(0), r(2))) {
+		t.Error("transitively implied member not detected")
+	}
+	// In an equivalence triangle every edge is implied by the other two.
+	if !IsClosedUnder(s, New(RelEq, r(0), r(1))) {
+		t.Error("triangle edge should be implied by the other two")
+	}
+	// A genuinely independent constraint is not implied.
+	s2 := NewSet(New(RelEq, r(0), r(1)), New(RelEq, r(2), r(3)))
+	if IsClosedUnder(s2, New(RelEq, r(2), r(3))) {
+		t.Error("independent constraint reported implied")
+	}
+	if Implies(NewSet(), New(RelEq, r(0), r(1))) {
+		t.Error("empty set implies nothing")
+	}
+}
+
+func TestUnionFindRepresentatives(t *testing.T) {
+	s := NewSet(New(PredEq, p(0), p(1)), New(PredEq, p(1), p(2)))
+	rep := UnionFind(s, PredEq)
+	if rep[p(0)] != rep[p(1)] || rep[p(1)] != rep[p(2)] {
+		t.Fatalf("reps differ: %v", rep)
+	}
+	if rep[p(2)] != p(0) {
+		t.Fatalf("canonical rep should be the least symbol, got %v", rep[p(2)])
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	src := template.InSub(a(0), template.Input(r(0)), template.Input(r(1)))
+	dest := template.Input(r(2))
+	cs := Enumerate(src, dest)
+	if cs.Len() == 0 {
+		t.Fatal("no constraints enumerated")
+	}
+	// Every constraint mentions at least one source symbol.
+	srcSyms := map[template.Sym]bool{}
+	for _, s := range src.Symbols() {
+		srcSyms[s] = true
+		if s.Kind == template.KRel {
+			srcSyms[template.AttrsOf(s)] = true
+		}
+	}
+	for _, c := range cs.Items() {
+		found := false
+		for i := 0; i < c.Kind.arity(); i++ {
+			s := c.Syms[i]
+			if srcSyms[s] {
+				found = true
+			}
+			if s.Kind == template.KAttrsOf && srcSyms[template.Sym{Kind: template.KRel, ID: s.ID}] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("useless constraint enumerated: %v", c)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package constraint
+
+import (
+	"wetune/internal/template"
+)
+
+// Enumerate generates the candidate constraint set C* for a template pair
+// (§4.2): every well-typed instantiation of the constraint predicates with
+// symbols of q_src and q_dest, excluding "useless" constraints that mention
+// only destination symbols (§4.3) — those can never tie the destination back
+// to the source.
+func Enumerate(src, dest *template.Node) *Set {
+	srcSyms := symSet(src.Symbols())
+	all := src.Symbols()
+	for _, s := range dest.Symbols() {
+		if !srcSyms[s] {
+			all = append(all, s)
+		}
+	}
+
+	var rels, attrs, attrsAll, preds, funcs []template.Sym
+	for _, s := range all {
+		switch s.Kind {
+		case template.KRel:
+			rels = append(rels, s)
+		case template.KAttrs:
+			attrs = append(attrs, s)
+			attrsAll = append(attrsAll, s)
+		case template.KAttrsOf:
+			attrsAll = append(attrsAll, s)
+		case template.KPred:
+			preds = append(preds, s)
+		case template.KFunc:
+			funcs = append(funcs, s)
+		}
+	}
+
+	useful := func(syms ...template.Sym) bool {
+		for _, s := range syms {
+			if srcSyms[s] {
+				return true
+			}
+			// AttrsOf symbols belong to their relation.
+			if s.Kind == template.KAttrsOf && srcSyms[template.Sym{Kind: template.KRel, ID: s.ID}] {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := NewSet()
+	// Equivalence constraints over same-kind symbol pairs.
+	for i := 0; i < len(rels); i++ {
+		for j := i + 1; j < len(rels); j++ {
+			if useful(rels[i], rels[j]) {
+				out.add(New(RelEq, rels[i], rels[j]))
+			}
+		}
+	}
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			if useful(attrs[i], attrs[j]) {
+				out.add(New(AttrsEq, attrs[i], attrs[j]))
+			}
+		}
+	}
+	for i := 0; i < len(preds); i++ {
+		for j := i + 1; j < len(preds); j++ {
+			if useful(preds[i], preds[j]) {
+				out.add(New(PredEq, preds[i], preds[j]))
+			}
+		}
+	}
+	for i := 0; i < len(funcs); i++ {
+		for j := i + 1; j < len(funcs); j++ {
+			if useful(funcs[i], funcs[j]) {
+				out.add(New(AggrEq, funcs[i], funcs[j]))
+			}
+		}
+	}
+	// SubAttrs(a1, a2): a1 a plain attrs symbol, a2 any attrs symbol
+	// (including the implicit a_r of each relation).
+	for _, a1 := range attrs {
+		for _, a2 := range attrsAll {
+			if a1 != a2 && useful(a1, a2) {
+				out.add(New(SubAttrs, a1, a2))
+			}
+		}
+	}
+	// Unique / NotNull over (relation, attrs) pairs.
+	for _, r := range rels {
+		for _, a := range attrs {
+			if useful(r, a) {
+				out.add(New(Unique, r, a))
+				out.add(New(NotNull, r, a))
+			}
+		}
+	}
+	// RefAttrs(r1, a1, r2, a2) over distinct relation pairs.
+	for _, r1 := range rels {
+		for _, a1 := range attrs {
+			for _, r2 := range rels {
+				if r1 == r2 {
+					continue
+				}
+				for _, a2 := range attrs {
+					if a1 == a2 {
+						continue
+					}
+					if useful(r1, a1, r2, a2) {
+						out.add(New(RefAttrs, r1, a1, r2, a2))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func symSet(syms []template.Sym) map[template.Sym]bool {
+	m := make(map[template.Sym]bool, len(syms))
+	for _, s := range syms {
+		m[s] = true
+	}
+	return m
+}

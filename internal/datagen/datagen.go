@@ -1,0 +1,200 @@
+// Package datagen produces the synthetic table contents of §8.1/§8.3:
+// deterministic random rows under uniform or Zipfian distributions that
+// respect the schema's integrity constraints (primary keys and unique
+// columns stay unique, NOT NULL columns stay non-NULL, foreign keys point at
+// existing parent rows).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wetune/internal/engine"
+	"wetune/internal/sql"
+)
+
+// Distribution selects how non-key column values are drawn.
+type Distribution int
+
+// Distributions used by the paper's workloads A-D.
+const (
+	Uniform Distribution = iota
+	Zipfian
+)
+
+func (d Distribution) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// Options configures generation.
+type Options struct {
+	Rows  int
+	Dist  Distribution
+	Theta float64 // Zipfian skew (paper: 1.25 for rule selection, 1.5 for workloads C/D)
+	Seed  int64
+	// NullFraction of nullable column values are NULL (default 0.05).
+	NullFraction float64
+	// DistinctValues bounds the value domain of non-key columns (default
+	// Rows/10, at least 10).
+	DistinctValues int
+}
+
+// Populate fills every table of the database, parents before children so
+// foreign keys can reference existing rows.
+func Populate(db *engine.DB, opts Options) error {
+	if opts.Rows <= 0 {
+		return fmt.Errorf("datagen: Rows must be positive")
+	}
+	if opts.NullFraction == 0 {
+		opts.NullFraction = 0.05
+	}
+	if opts.DistinctValues == 0 {
+		opts.DistinctValues = opts.Rows / 10
+		if opts.DistinctValues < 10 {
+			opts.DistinctValues = 10
+		}
+	}
+	order, err := topoOrder(db.Schema)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var zipf *rand.Zipf
+	if opts.Dist == Zipfian {
+		theta := opts.Theta
+		if theta <= 1 {
+			theta = 1.25
+		}
+		zipf = rand.NewZipf(rng, theta, 1, uint64(opts.DistinctValues-1))
+	}
+	for _, name := range order {
+		if err := populateTable(db, name, opts, rng, zipf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topoOrder orders tables so FK parents precede children.
+func topoOrder(s *sql.Schema) ([]string, error) {
+	names := s.TableNames()
+	deps := map[string][]string{}
+	for _, n := range names {
+		def, _ := s.Table(n)
+		for _, fk := range def.ForeignKeys {
+			if fk.RefTable != n {
+				deps[n] = append(deps[n], fk.RefTable)
+			}
+		}
+	}
+	var out []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(n string) error
+	visit = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("datagen: foreign-key cycle involving %s", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, d := range deps[n] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		out = append(out, n)
+		return nil
+	}
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func populateTable(db *engine.DB, name string, opts Options, rng *rand.Rand, zipf *rand.Zipf) error {
+	def, _ := db.Schema.Table(name)
+	pk := map[string]bool{}
+	for _, c := range def.PrimaryKey {
+		pk[c] = true
+	}
+	uniqueCols := map[string]bool{}
+	for _, u := range def.Uniques {
+		if len(u) == 1 {
+			uniqueCols[u[0]] = true
+		}
+	}
+	fkFor := map[string]sql.ForeignKey{}
+	for _, fk := range def.ForeignKeys {
+		if len(fk.Columns) == 1 {
+			fkFor[fk.Columns[0]] = fk
+		}
+	}
+	draw := func() int64 {
+		if zipf != nil {
+			return int64(zipf.Uint64())
+		}
+		return int64(rng.Intn(opts.DistinctValues))
+	}
+	for i := 0; i < opts.Rows; i++ {
+		row := make(engine.Row, len(def.Columns))
+		for ci, col := range def.Columns {
+			switch {
+			case pk[col.Name] || uniqueCols[col.Name]:
+				// Sequential keys stay unique under every distribution.
+				row[ci] = keyValue(col.Type, int64(i+1))
+			case fkFor[col.Name].RefTable != "":
+				fk := fkFor[col.Name]
+				parentRows := db.RowCount(fk.RefTable)
+				if parentRows == 0 {
+					return fmt.Errorf("datagen: parent table %s empty", fk.RefTable)
+				}
+				// Parent keys are sequential 1..N.
+				pick := int64(rng.Intn(parentRows)) + 1
+				if zipf != nil {
+					pick = int64(math.Mod(float64(zipf.Uint64()), float64(parentRows))) + 1
+				}
+				row[ci] = sql.NewInt(pick)
+			case !col.NotNull && rng.Float64() < opts.NullFraction:
+				row[ci] = sql.Null
+			default:
+				row[ci] = columnValue(col.Type, draw())
+			}
+		}
+		if err := db.Insert(name, row); err != nil {
+			return fmt.Errorf("datagen: %s row %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+func keyValue(t sql.ColumnType, n int64) sql.Value {
+	switch t {
+	case sql.TString:
+		return sql.NewString(fmt.Sprintf("k%08d", n))
+	case sql.TFloat:
+		return sql.NewFloat(float64(n))
+	default:
+		return sql.NewInt(n)
+	}
+}
+
+func columnValue(t sql.ColumnType, v int64) sql.Value {
+	switch t {
+	case sql.TString:
+		return sql.NewString(fmt.Sprintf("v%04d", v))
+	case sql.TFloat:
+		return sql.NewFloat(float64(v) + 0.5)
+	case sql.TBool:
+		return sql.NewBool(v%2 == 0)
+	default:
+		return sql.NewInt(v)
+	}
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wetune/internal/engine"
+	"wetune/internal/sql"
+)
+
+func schemaWithFK() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "projects",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "name", Type: sql.TString},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "issues",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "project_id", Type: sql.TInt, NotNull: true},
+			{Name: "title", Type: sql.TString},
+			{Name: "weight", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []sql.ForeignKey{
+			{Columns: []string{"project_id"}, RefTable: "projects", RefColumns: []string{"id"}},
+		},
+	})
+	return s
+}
+
+func TestPopulateUniform(t *testing.T) {
+	db := engine.NewDB(schemaWithFK())
+	if err := Populate(db, Options{Rows: 500, Dist: Uniform, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if db.RowCount("projects") != 500 || db.RowCount("issues") != 500 {
+		t.Fatalf("row counts: %d, %d", db.RowCount("projects"), db.RowCount("issues"))
+	}
+	// Foreign keys must reference existing parents.
+	issues, _ := db.Table("issues")
+	for _, row := range issues.Rows {
+		pid := row[1].I
+		if pid < 1 || pid > 500 {
+			t.Fatalf("dangling FK value %d", pid)
+		}
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	db1 := engine.NewDB(schemaWithFK())
+	db2 := engine.NewDB(schemaWithFK())
+	if err := Populate(db1, Options{Rows: 100, Dist: Zipfian, Theta: 1.5, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Populate(db2, Options{Rows: 100, Dist: Zipfian, Theta: 1.5, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := db1.Table("issues")
+	t2, _ := db2.Table("issues")
+	for i := range t1.Rows {
+		for j := range t1.Rows[i] {
+			if !t1.Rows[i][j].Equal(t2.Rows[i][j]) {
+				t.Fatalf("row %d col %d differs across same-seed runs", i, j)
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	db := engine.NewDB(schemaWithFK())
+	if err := Populate(db, Options{Rows: 2000, Dist: Zipfian, Theta: 1.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := db.Table("issues")
+	counts := map[int64]int{}
+	for _, row := range issues.Rows {
+		if !row[3].IsNull() {
+			counts[row[3].I]++
+		}
+	}
+	// Under theta=1.5 Zipf the most frequent value dominates.
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.3 {
+		t.Fatalf("zipfian skew too weak: max %d of %d", max, total)
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	db := engine.NewDB(schemaWithFK())
+	if err := Populate(db, Options{Rows: 2000, Dist: Uniform, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := db.Table("issues")
+	counts := map[int64]int{}
+	for _, row := range issues.Rows {
+		if !row[3].IsNull() {
+			counts[row[3].I]++
+		}
+	}
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) > 0.05 {
+		t.Fatalf("uniform distribution too skewed: max %d of %d", max, total)
+	}
+}
+
+func TestNullFractionRespectsNotNull(t *testing.T) {
+	db := engine.NewDB(schemaWithFK())
+	if err := Populate(db, Options{Rows: 300, Dist: Uniform, Seed: 5, NullFraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := db.Table("issues")
+	nulls := 0
+	for _, row := range issues.Rows {
+		if row[0].IsNull() || row[1].IsNull() {
+			t.Fatal("NULL in NOT NULL column")
+		}
+		if row[3].IsNull() {
+			nulls++
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("nullable column has no NULLs at 50% fraction")
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	// Populate never fails for positive row counts on this schema.
+	f := func(n uint8) bool {
+		rows := int(n%50) + 1
+		db := engine.NewDB(schemaWithFK())
+		return Populate(db, Options{Rows: rows, Seed: int64(n)}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopulateRejectsBadOptions(t *testing.T) {
+	db := engine.NewDB(schemaWithFK())
+	if err := Populate(db, Options{Rows: 0}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"math"
+
+	"wetune/internal/plan"
+	"wetune/internal/sql"
+)
+
+// EstimateCost returns the cost estimate the rewriter uses to rank candidate
+// plans, standing in for EXPLAIN on a commercial system (§6). The model is
+// cardinality-driven: every operator pays per input row, index-served
+// selections pay per output row, sorts pay n log n.
+func (db *DB) EstimateCost(p plan.Node) float64 {
+	cost, _ := db.estimate(p)
+	return cost
+}
+
+// EstimateRows returns the estimated output cardinality.
+func (db *DB) EstimateRows(p plan.Node) float64 {
+	_, card := db.estimate(p)
+	return card
+}
+
+func (db *DB) estimate(p plan.Node) (cost, card float64) {
+	switch x := p.(type) {
+	case *plan.Scan:
+		n := float64(db.RowCount(x.Table))
+		if n == 0 {
+			n = 1000 // planning default when storage is empty
+		}
+		return n, n
+	case *plan.Derived:
+		return db.estimate(x.In)
+	case *plan.Sel:
+		inCost, inCard := db.estimate(x.In)
+		sel := db.selectivity(x.Pred, x.In)
+		out := inCard * sel
+		if out < 1 {
+			out = 1
+		}
+		// Index fast path: equality over an indexed scan column avoids the
+		// full input visit.
+		if scan, ok := x.In.(*plan.Scan); ok && db.indexServes(scan, x.Pred) {
+			return 1 + out, out
+		}
+		// Predicates containing subqueries pay the subquery per input row
+		// when correlated, once when not.
+		subCost := db.predicateSubqueryCost(x.Pred, inCard)
+		return inCost + inCard + subCost, out
+	case *plan.InSub:
+		inCost, inCard := db.estimate(x.In)
+		subCost, subCard := db.estimate(x.Sub)
+		out := inCard * 0.5
+		if out < 1 {
+			out = 1
+		}
+		return inCost + subCost + inCard + subCard, out
+	case *plan.Join:
+		lCost, lCard := db.estimate(x.L)
+		rCost, rCard := db.estimate(x.R)
+		if _, _, equi := x.EquiCols(); equi {
+			out := lCard // foreign-key assumption: one match per probe row
+			if x.JoinKind == sql.RightJoin {
+				out = rCard
+			}
+			return lCost + rCost + lCard + rCard, out
+		}
+		return lCost + rCost + lCard*rCard, lCard * rCard * 0.1
+	case *plan.Dedup:
+		inCost, inCard := db.estimate(x.In)
+		return inCost + inCard, math.Max(1, inCard*0.5)
+	case *plan.Proj:
+		inCost, inCard := db.estimate(x.In)
+		return inCost + inCard*0.1, inCard
+	case *plan.Agg:
+		inCost, inCard := db.estimate(x.In)
+		return inCost + inCard, math.Max(1, inCard*0.1)
+	case *plan.Union:
+		lCost, lCard := db.estimate(x.L)
+		rCost, rCard := db.estimate(x.R)
+		cost := lCost + rCost
+		card := lCard + rCard
+		if !x.All {
+			cost += card
+			card *= 0.8
+		}
+		return cost, card
+	case *plan.Sort:
+		inCost, inCard := db.estimate(x.In)
+		n := math.Max(2, inCard)
+		return inCost + n*math.Log2(n), inCard
+	case *plan.Limit:
+		inCost, inCard := db.estimate(x.In)
+		return inCost, math.Min(inCard, float64(x.N))
+	}
+	return 1, 1
+}
+
+// selectivity estimates the fraction of rows a predicate keeps.
+func (db *DB) selectivity(pred sql.Expr, input plan.Node) float64 {
+	sel := 1.0
+	for _, conj := range sql.SplitConjuncts(pred) {
+		switch e := conj.(type) {
+		case *sql.BinaryExpr:
+			switch e.Op {
+			case "=":
+				if cr, ok := e.L.(*sql.ColumnRef); ok {
+					if plan.UniqueOn(input, []plan.ColRef{{Table: cr.Table, Column: cr.Column}}, db.Schema) {
+						sel *= 0.001
+						continue
+					}
+				}
+				sel *= 0.1
+			case "<", "<=", ">", ">=":
+				sel *= 0.3
+			case "OR":
+				sel *= 0.5
+			default:
+				sel *= 0.5
+			}
+		case *sql.IsNullExpr:
+			sel *= 0.1
+		case *sql.InListExpr:
+			sel *= 0.2
+		case *sql.InSubquery, *sql.ExistsExpr:
+			sel *= 0.5
+		default:
+			sel *= 0.5
+		}
+	}
+	return sel
+}
+
+func (db *DB) indexServes(scan *plan.Scan, pred sql.Expr) bool {
+	be, ok := pred.(*sql.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	cr, ok := be.L.(*sql.ColumnRef)
+	if !ok {
+		cr, ok = be.R.(*sql.ColumnRef)
+	}
+	if !ok {
+		return false
+	}
+	t, found := db.tables[scan.Table]
+	if !found {
+		return false
+	}
+	_, indexed := t.indexes[cr.Column]
+	return indexed
+}
+
+// predicateSubqueryCost charges for subqueries nested in predicates.
+func (db *DB) predicateSubqueryCost(pred sql.Expr, inCard float64) float64 {
+	total := 0.0
+	sql.WalkExprs(pred, func(e sql.Expr) bool {
+		var stmt *sql.SelectStmt
+		switch x := e.(type) {
+		case *sql.InSubquery:
+			stmt = x.Select
+		case *sql.ExistsExpr:
+			stmt = x.Select
+		case *sql.ScalarSubquery:
+			stmt = x.Select
+		}
+		if stmt == nil {
+			return true
+		}
+		sub, err := plan.Build(stmt, db.Schema)
+		if err != nil {
+			// Correlated: pay per outer row (a coarse stand-in; we do not
+			// re-plan against the outer scope here).
+			total += inCard * 10
+			return true
+		}
+		c, _ := db.estimate(sub)
+		total += c
+		return true
+	})
+	return total
+}

@@ -1,0 +1,194 @@
+// Package engine is WeTune's execution substrate: an in-memory SQL engine
+// with hash indexes and a cardinality-based cost estimator. It stands in for
+// the MS SQL Server testbed of §8.1 — queries and their rewrites execute on
+// the same storage, so the relative effects of rewrite rules (row visits,
+// operator invocations, subquery re-executions) are directly observable.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"wetune/internal/plan"
+	"wetune/internal/sql"
+)
+
+// Row is one tuple.
+type Row []sql.Value
+
+// Table is in-memory storage for one relation.
+type Table struct {
+	Def     *sql.TableDef
+	Rows    []Row
+	indexes map[string]*hashIndex
+}
+
+type hashIndex struct {
+	cols []int // column positions
+	m    map[string][]int
+}
+
+// DB is an in-memory database instance over a schema.
+type DB struct {
+	Schema *sql.Schema
+	tables map[string]*Table
+
+	// Stats counts work done by the executor, for white-box tests.
+	Stats ExecStats
+}
+
+// ExecStats tallies executor effort.
+type ExecStats struct {
+	RowsVisited   int64
+	IndexLookups  int64
+	SubqueryExecs int64
+	SortedRows    int64
+}
+
+// NewDB creates an empty database for the schema and builds hash indexes on
+// every primary key and declared unique key.
+func NewDB(schema *sql.Schema) *DB {
+	db := &DB{Schema: schema, tables: map[string]*Table{}}
+	for _, name := range schema.TableNames() {
+		def, _ := schema.Table(name)
+		t := &Table{Def: def, indexes: map[string]*hashIndex{}}
+		db.tables[name] = t
+		if len(def.PrimaryKey) > 0 {
+			db.CreateIndex(name, def.PrimaryKey)
+		}
+		for _, u := range def.Uniques {
+			db.CreateIndex(name, u)
+		}
+	}
+	return db
+}
+
+// Table returns the storage for a table.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// CreateIndex builds a hash index over the named columns.
+func (db *DB) CreateIndex(table string, cols []string) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		idx := t.Def.ColumnIndex(c)
+		if idx < 0 {
+			return fmt.Errorf("engine: unknown column %s.%s", table, c)
+		}
+		pos[i] = idx
+	}
+	ix := &hashIndex{cols: pos, m: map[string][]int{}}
+	for ri, row := range t.Rows {
+		ix.m[indexKey(row, pos)] = append(ix.m[indexKey(row, pos)], ri)
+	}
+	t.indexes[strings.Join(cols, ",")] = ix
+	return nil
+}
+
+func indexKey(row Row, pos []int) string {
+	var b strings.Builder
+	for _, p := range pos {
+		b.WriteString(row[p].String())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Insert appends a row, maintaining indexes and enforcing NOT NULL and
+// single-column uniqueness (enough integrity for the synthetic workloads).
+func (db *DB) Insert(table string, row Row) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	if len(row) != len(t.Def.Columns) {
+		return fmt.Errorf("engine: %s expects %d columns, got %d", table, len(t.Def.Columns), len(row))
+	}
+	for i, col := range t.Def.Columns {
+		notNull := col.NotNull
+		for _, pk := range t.Def.PrimaryKey {
+			if pk == col.Name {
+				notNull = true
+			}
+		}
+		if notNull && row[i].IsNull() {
+			return fmt.Errorf("engine: NULL in NOT NULL column %s.%s", table, col.Name)
+		}
+	}
+	ri := len(t.Rows)
+	for key, ix := range t.indexes {
+		k := indexKey(row, ix.cols)
+		if isUniqueIndexOf(t.Def, key) && len(ix.m[k]) > 0 {
+			return fmt.Errorf("engine: duplicate key %s on %s(%s)", k, table, key)
+		}
+		ix.m[k] = append(ix.m[k], ri)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+func isUniqueIndexOf(def *sql.TableDef, key string) bool {
+	cols := strings.Split(key, ",")
+	return def.IsUnique(cols)
+}
+
+// MustInsert is Insert that panics on error (data generators use it).
+func (db *DB) MustInsert(table string, row Row) {
+	if err := db.Insert(table, row); err != nil {
+		panic(err)
+	}
+}
+
+// RowCount returns the number of rows in a table (0 if absent).
+func (db *DB) RowCount(table string) int {
+	if t, ok := db.tables[table]; ok {
+		return len(t.Rows)
+	}
+	return 0
+}
+
+// lookup returns row indexes matching key values on cols via an index, and
+// whether an index was available.
+func (t *Table) lookup(cols []string, key string) ([]int, bool) {
+	ix, ok := t.indexes[strings.Join(cols, ",")]
+	if !ok {
+		return nil, false
+	}
+	return ix.m[key], true
+}
+
+// ResultCols pairs executed rows with their column layout.
+type Result struct {
+	Cols []plan.ColRef
+	Rows []Row
+}
+
+// Fingerprint renders a result set as a sorted multiset string, for
+// order-insensitive comparisons in tests.
+func (r *Result) Fingerprint() string {
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var b strings.Builder
+		for _, v := range row {
+			b.WriteString(v.String())
+			b.WriteByte(',')
+		}
+		lines[i] = b.String()
+	}
+	sortStrings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package enum
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wetune/internal/constraint"
+	"wetune/internal/template"
+)
+
+func r(id int) template.Sym { return template.Sym{Kind: template.KRel, ID: id} }
+func a(id int) template.Sym { return template.Sym{Kind: template.KAttrs, ID: id} }
+func p(id int) template.Sym { return template.Sym{Kind: template.KPred, ID: id} }
+
+func TestSearchPairFindsFigure2Rule(t *testing.T) {
+	src := template.InSub(a(0), template.InSub(a(1), template.Input(r(0)), template.Input(r(1))), template.Input(r(2)))
+	dest := template.InSub(a(2), template.Input(r(3)), template.Input(r(4)))
+	rules := SearchPair(src, dest, Options{Prover: AlgebraicProver, MaxProverCallsPerPair: 2000, MaxConstraints: 60})
+	if len(rules) == 0 {
+		t.Fatal("no rules found for the Figure 2 pair")
+	}
+	// At least one discovered rule must include the essential constraints of
+	// Figure 2 (r1=r2, r1=r4, r0=r3, attrs equal).
+	found := false
+	for _, rule := range rules {
+		cl := constraint.Closure(rule.Constraints)
+		if cl.Has(constraint.New(constraint.RelEq, r(1), r(2))) &&
+			cl.Has(constraint.New(constraint.RelEq, r(0), r(3))) &&
+			cl.Has(constraint.New(constraint.AttrsEq, a(0), a(1))) {
+			found = true
+		}
+	}
+	if !found {
+		for _, rule := range rules {
+			t.Logf("rule: %s", rule.Constraints)
+		}
+		t.Fatal("Figure 2 constraint set not among discovered rules")
+	}
+}
+
+func TestSearchPairMostRelaxed(t *testing.T) {
+	// Sel(Sel(r)) -> Sel(r'): the most relaxed set must not force
+	// constraints beyond symbol identification.
+	src := template.Sel(p(0), a(0), template.Sel(p(1), a(1), template.Input(r(0))))
+	dest := template.Sel(p(2), a(2), template.Input(r(1)))
+	rules := SearchPair(src, dest, Options{Prover: AlgebraicProver, MaxProverCallsPerPair: 3000, MaxConstraints: 60})
+	if len(rules) == 0 {
+		t.Fatal("no rules for idempotent selection pair")
+	}
+	for _, rule := range rules {
+		// No discovered constraint set should contain integrity constraints:
+		// the rule holds from equalities alone.
+		for _, c := range rule.Constraints.Items() {
+			switch c.Kind {
+			case constraint.Unique, constraint.NotNull, constraint.RefAttrs:
+				t.Errorf("unexpected integrity constraint %v in %s", c, rule.Constraints)
+			}
+		}
+	}
+}
+
+func TestSearchPairRejectsUnprovablePair(t *testing.T) {
+	// Proj(r) vs Dedup(r): never equivalent under any constraint set we
+	// enumerate (Dedup changes multiplicities; Proj does not dedup).
+	src := template.Proj(a(0), template.Input(r(0)))
+	dest := template.Dedup(template.Input(r(1)))
+	rules := SearchPair(src, dest, Options{Prover: AlgebraicProver, MaxProverCallsPerPair: 500})
+	if len(rules) != 0 {
+		t.Fatalf("found %d bogus rules", len(rules))
+	}
+}
+
+func TestSearchSmallSweep(t *testing.T) {
+	templates := template.Enumerate(template.EnumOptions{MaxSize: 1})
+	res := Search(Options{
+		Templates:             templates,
+		Prover:                AlgebraicProver,
+		MaxProverCallsPerPair: 200,
+		Workers:               2,
+	})
+	if res.Stats.PairsTried == 0 {
+		t.Fatal("no pairs tried")
+	}
+	if res.Stats.ProverCalls == 0 {
+		t.Fatal("prover never called")
+	}
+	// Every found rule must satisfy the simplicity filter and be verifiable.
+	for _, rule := range res.Rules {
+		if !rule.Dest.NotMoreOpsThan(rule.Src) {
+			t.Errorf("rule violates simplicity: %s => %s", rule.Src, rule.Dest)
+		}
+		if !AlgebraicProver(rule.Src, rule.Dest, rule.Constraints) {
+			t.Errorf("reported rule does not verify: %s => %s under %s",
+				rule.Src, rule.Dest, rule.Constraints)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	templates := template.Enumerate(template.EnumOptions{MaxSize: 1})
+	r1 := Search(Options{Templates: templates, Prover: AlgebraicProver, Workers: 4})
+	r2 := Search(Options{Templates: templates, Prover: AlgebraicProver, Workers: 1})
+	if len(r1.Rules) != len(r2.Rules) {
+		t.Fatalf("rule counts differ across worker counts: %d vs %d", len(r1.Rules), len(r2.Rules))
+	}
+	for i := range r1.Rules {
+		if r1.Rules[i].Constraints.Key() != r2.Rules[i].Constraints.Key() {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}
+
+func TestPruningReducesProverCalls(t *testing.T) {
+	src := template.Sel(p(0), a(0), template.Sel(p(1), a(1), template.Input(r(0))))
+	dest := template.Sel(p(2), a(2), template.Input(r(1)))
+
+	var withPruning, withoutPruning Stats
+	searchPair(src, dest, Options{Prover: AlgebraicProver, MaxProverCallsPerPair: 5000, MaxConstraints: 90, DeletionOrders: 3}, &withPruning)
+	searchPair(src, dest, Options{Prover: AlgebraicProver, MaxProverCallsPerPair: 5000, MaxConstraints: 90, DeletionOrders: 3, DisablePruning: true}, &withoutPruning)
+	if withPruning.ProverCalls >= withoutPruning.ProverCalls {
+		t.Fatalf("pruning should reduce prover calls: %d vs %d",
+			withPruning.ProverCalls, withoutPruning.ProverCalls)
+	}
+	t.Logf("prover calls: pruned=%d unpruned=%d", withPruning.ProverCalls, withoutPruning.ProverCalls)
+}
+
+func TestDestCovered(t *testing.T) {
+	src := template.Proj(a(0), template.Input(r(0)))
+	dest := template.Proj(a(1), template.Input(r(1)))
+	// Fully tied: covered.
+	cs := constraint.NewSet(
+		constraint.New(constraint.RelEq, r(0), r(1)),
+		constraint.New(constraint.AttrsEq, a(0), a(1)),
+	)
+	if !destCovered(src, dest, cs) {
+		t.Error("fully tied destination reported uncovered")
+	}
+	// Missing the attrs tie: uncovered.
+	cs2 := constraint.NewSet(constraint.New(constraint.RelEq, r(0), r(1)))
+	if destCovered(src, dest, cs2) {
+		t.Error("untied attrs symbol reported covered")
+	}
+}
+
+// TestSearchRediscoversTable7Rules checks the paper's central claim at small
+// scale: the automatic search re-finds known useful rules. Rule 2
+// (Dedup(Proj(r)) = Proj(r) under Unique) and rule 3 (idempotent selection)
+// are size <= 2 shapes the sweep must surface.
+func TestSearchRediscoversTable7Rules(t *testing.T) {
+	res := Search(Options{
+		Templates: template.Enumerate(template.EnumOptions{MaxSize: 2}),
+		Prover:    AlgebraicProver,
+		Deadline:  60 * time.Second,
+	})
+	foundRule2, foundRule3 := false, false
+	for _, rule := range res.Rules {
+		src, dest := rule.Src.String(), rule.Dest.String()
+		// Rule 2 shape: Dedup(Proj(r)) => Proj(r') with a Unique constraint.
+		if strings.HasPrefix(src, "Dedup(Proj_") && strings.HasPrefix(dest, "Proj_") {
+			for _, c := range rule.Constraints.Items() {
+				if c.Kind == constraint.Unique {
+					foundRule2 = true
+				}
+			}
+		}
+		// Rule 3 shape: Sel(Sel(r)) => Sel(r') with matching predicates.
+		if strings.HasPrefix(src, "Sel_") && strings.Contains(src, "(Sel_") &&
+			strings.HasPrefix(dest, "Sel_") && !strings.Contains(dest, "(Sel_") {
+			foundRule3 = true
+		}
+	}
+	if !foundRule2 {
+		t.Error("discovery did not re-find rule 2 (dedup-unique-proj)")
+	}
+	if !foundRule3 {
+		t.Error("discovery did not re-find rule 3 (sel-idempotent)")
+	}
+	t.Logf("discovered %d rules at size <= 2", len(res.Rules))
+}

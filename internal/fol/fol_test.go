@@ -1,0 +1,164 @@
+package fol
+
+import (
+	"strings"
+	"testing"
+
+	"wetune/internal/constraint"
+	"wetune/internal/template"
+	"wetune/internal/uexpr"
+)
+
+func rsym(id int) template.Sym { return template.Sym{Kind: template.KRel, ID: id} }
+func asym(id int) template.Sym { return template.Sym{Kind: template.KAttrs, ID: id} }
+func psym(id int) template.Sym { return template.Sym{Kind: template.KPred, ID: id} }
+
+// Table 4 translations: each constraint kind yields the documented shape.
+func TestConstraintToFOLShapes(t *testing.T) {
+	cases := []struct {
+		c    constraint.C
+		want []string // substrings of the rendered formula
+	}{
+		{constraint.New(constraint.RelEq, rsym(0), rsym(1)), []string{"forall", "r0(", "r1(", "="}},
+		{constraint.New(constraint.AttrsEq, asym(0), asym(1)), []string{"forall", "a0(", "a1("}},
+		{constraint.New(constraint.PredEq, psym(0), psym(1)), []string{"=>", "p0(", "p1("}},
+		{constraint.New(constraint.SubAttrs, asym(0), asym(1)), []string{"a0(a1("}},
+		{constraint.New(constraint.RefAttrs, rsym(0), asym(0), rsym(1), asym(1)),
+			[]string{"exists", "IsNull", "> 0"}},
+		{constraint.New(constraint.Unique, rsym(0), asym(0)), []string{"<= 1", "=>"}},
+		{constraint.New(constraint.NotNull, rsym(0), asym(0)), []string{"IsNull", "=>"}},
+	}
+	for _, tc := range cases {
+		fv := NewFreshVars(100)
+		f, err := ConstraintToFOL(tc.c, fv)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.c, err)
+		}
+		s := f.String()
+		for _, w := range tc.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%v: formula missing %q:\n%s", tc.c, w, s)
+			}
+		}
+	}
+}
+
+func TestAggrEqUnsupported(t *testing.T) {
+	fv := NewFreshVars(0)
+	f1 := template.Sym{Kind: template.KFunc, ID: 0}
+	f2 := template.Sym{Kind: template.KFunc, ID: 1}
+	if _, err := ConstraintToFOL(constraint.New(constraint.AggrEq, f1, f2), fv); err == nil {
+		t.Fatal("AggrEq should be outside the built-in verifier's scope")
+	}
+}
+
+// normalizeTpl translates and normalizes a template for equation tests.
+func normalizeTpl(t *testing.T, tpl *template.Node) (*uexpr.NF, *uexpr.TVar) {
+	t.Helper()
+	e, v, err := uexpr.Translate(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uexpr.Normalize(e, uexpr.EmptyEnv()), v
+}
+
+// Theorem 5.1 shape: equal summation arity produces a single Forall over the
+// aligned variables.
+func TestEquationCandidatesAligned(t *testing.T) {
+	src := template.Proj(asym(0), template.Input(rsym(0)))
+	dest := template.Proj(asym(0), template.Input(rsym(0)))
+	ns, v := normalizeTpl(t, src)
+	e2, v2, _ := uexpr.Translate(dest)
+	e2 = uexpr.SubstTuple(e2, v2.ID, v)
+	nd := uexpr.Normalize(e2, uexpr.EmptyEnv())
+	cands, err := EquationCandidates(ns, nd, v)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("no candidates: %v", err)
+	}
+	if _, ok := cands[0].(*Forall); !ok {
+		t.Fatalf("expected a Forall goal, got %T", cands[0])
+	}
+}
+
+// Theorem 5.2 shape: arity differing by one produces the disjunctive
+// sufficient condition of Table 5's last row.
+func TestEquationCandidatesUnaligned(t *testing.T) {
+	// Dedup(Proj(r)) has a squash (0 sum vars after normalization);
+	// Proj(r) keeps one sum var — the 0-vs-1 case.
+	src := template.Dedup(template.Proj(asym(0), template.Input(rsym(0))))
+	dest := template.Proj(asym(0), template.Input(rsym(0)))
+	ns, v := normalizeTpl(t, src)
+	e2, v2, _ := uexpr.Translate(dest)
+	e2 = uexpr.SubstTuple(e2, v2.ID, v)
+	nd := uexpr.Normalize(e2, uexpr.EmptyEnv())
+	cands, err := EquationCandidates(ns, nd, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("theorem 5.2 shape produced no candidate")
+	}
+	s := cands[0].String()
+	// The sufficient condition is a disjunction containing sum-elimination
+	// subformulas.
+	if !strings.Contains(s, "|") || !strings.Contains(s, "forall") {
+		t.Fatalf("unexpected goal shape: %s", s)
+	}
+}
+
+// Footnote 3: mismatched term counts are untranslatable and yield no
+// candidates (nil, nil).
+func TestEquationCandidatesUntranslatable(t *testing.T) {
+	// LJoin normalizes to two terms; a single Input to one.
+	src := template.Join(template.OpLJoin, asym(0), asym(1),
+		template.Input(rsym(0)), template.Input(rsym(1)))
+	dest := template.Input(rsym(2))
+	ns, v := normalizeTpl(t, src)
+	e2, v2, _ := uexpr.Translate(dest)
+	e2 = uexpr.SubstTuple(e2, v2.ID, v)
+	nd := uexpr.Normalize(e2, uexpr.EmptyEnv())
+	cands, err := EquationCandidates(ns, nd, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("expected untranslatable (footnote 3), got %d candidates", len(cands))
+	}
+}
+
+func TestMkAndMkOrFlattening(t *testing.T) {
+	a := &TrueF{}
+	b := &FalseF{}
+	p := &PredApp{Pred: psym(0), T: &uexpr.TVar{ID: 1}}
+	if _, ok := MkAnd(a, p).(*PredApp); !ok {
+		t.Error("MkAnd should drop TrueF")
+	}
+	if _, ok := MkOr(b, p).(*PredApp); !ok {
+		t.Error("MkOr should drop FalseF")
+	}
+	nested := MkAnd(MkAnd(p, p), p)
+	if and, ok := nested.(*And); !ok || len(and.Fs) != 3 {
+		t.Errorf("MkAnd should flatten: %v", nested)
+	}
+	if _, ok := MkAnd().(*TrueF); !ok {
+		t.Error("empty MkAnd should be TrueF")
+	}
+	if _, ok := MkOr().(*FalseF); !ok {
+		t.Error("empty MkOr should be FalseF")
+	}
+}
+
+func TestSetToFOLConjoins(t *testing.T) {
+	cs := constraint.NewSet(
+		constraint.New(constraint.NotNull, rsym(0), asym(0)),
+		constraint.New(constraint.Unique, rsym(0), asym(0)),
+	)
+	fv := NewFreshVars(10)
+	f, err := SetToFOL(cs, fv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.String(), "IsNull") || !strings.Contains(f.String(), "<= 1") {
+		t.Fatalf("conjunction incomplete: %s", f)
+	}
+}

@@ -1,0 +1,525 @@
+package plan
+
+import (
+	"fmt"
+
+	"wetune/internal/sql"
+)
+
+// Build lowers a parsed SELECT statement into a logical plan tree against the
+// given schema. Conjunctions in WHERE become stacked Sel operators, and each
+// non-negated, uncorrelated IN-subquery conjunct becomes an InSub operator —
+// the shape the paper's templates are defined over.
+func Build(stmt *sql.SelectStmt, schema *sql.Schema) (Node, error) {
+	b := &builder{schema: schema}
+	return b.buildSelect(stmt, nil)
+}
+
+// MustBuild is Build that panics on error; for static tables in tests.
+func MustBuild(stmt *sql.SelectStmt, schema *sql.Schema) Node {
+	n, err := Build(stmt, schema)
+	if err != nil {
+		panic(fmt.Sprintf("plan.MustBuild: %v", err))
+	}
+	return n
+}
+
+// BuildSQL parses and lowers in one step.
+func BuildSQL(query string, schema *sql.Schema) (Node, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Build(stmt, schema)
+}
+
+// BuildCorrelated lowers a subquery whose free column references may resolve
+// against the supplied outer columns (the engine supplies their values at
+// execution time).
+func BuildCorrelated(stmt *sql.SelectStmt, schema *sql.Schema, outer []ColRef) (Node, error) {
+	b := &builder{schema: schema}
+	return b.buildSelect(stmt, &scope{cols: outer})
+}
+
+type builder struct {
+	schema *sql.Schema
+}
+
+// scope tracks the columns visible at the current query level, plus the
+// enclosing scope for correlated subqueries.
+type scope struct {
+	cols  []ColRef
+	outer *scope
+}
+
+func (s *scope) resolve(table, column string) (ColRef, bool, error) {
+	for sc := s; sc != nil; sc = sc.outer {
+		var matches []ColRef
+		for _, c := range sc.cols {
+			if c.Column != column {
+				continue
+			}
+			if table != "" && c.Table != table {
+				continue
+			}
+			matches = append(matches, c)
+		}
+		if len(matches) == 1 {
+			return matches[0], true, nil
+		}
+		if len(matches) > 1 {
+			return ColRef{}, false, fmt.Errorf("plan: ambiguous column %s", ColRef{Table: table, Column: column})
+		}
+	}
+	return ColRef{}, false, nil
+}
+
+func (b *builder) buildSelect(stmt *sql.SelectStmt, outer *scope) (Node, error) {
+	if stmt.SetOp != "" {
+		l, err := b.buildSelect(stmt.SetLeft, outer)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildSelect(stmt.SetRight, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(l.OutCols()) != len(r.OutCols()) {
+			return nil, fmt.Errorf("plan: UNION arms have %d vs %d columns", len(l.OutCols()), len(r.OutCols()))
+		}
+		var n Node = &Union{All: stmt.SetOp == "UNION ALL", L: l, R: r}
+		return b.finishOrderLimit(n, stmt, &scope{cols: n.OutCols(), outer: outer})
+	}
+
+	var root Node
+	if stmt.From != nil {
+		from, err := b.buildFrom(stmt.From, outer)
+		if err != nil {
+			return nil, err
+		}
+		root = from
+	} else {
+		return nil, fmt.Errorf("plan: SELECT without FROM is not supported")
+	}
+	sc := &scope{cols: root.OutCols(), outer: outer}
+
+	// WHERE: stack one operator per conjunct, in source order.
+	for _, conj := range sql.SplitConjuncts(stmt.Where) {
+		node, err := b.buildFilter(root, conj, sc)
+		if err != nil {
+			return nil, err
+		}
+		root = node
+		sc = &scope{cols: root.OutCols(), outer: outer}
+	}
+
+	hasAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, it := range stmt.Items {
+		if it.Expr != nil && sql.IsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	if hasAgg {
+		n, err := b.buildAgg(root, stmt, sc)
+		if err != nil {
+			return nil, err
+		}
+		root = n
+	} else if !(len(stmt.Items) == 1 && stmt.Items[0].Star && stmt.Items[0].StarTable == "") {
+		items, err := b.buildProjItems(stmt.Items, sc)
+		if err != nil {
+			return nil, err
+		}
+		root = &Proj{Items: items, In: root}
+	}
+
+	if stmt.Distinct {
+		root = &Dedup{In: root}
+	}
+	return b.finishOrderLimit(root, stmt, &scope{cols: root.OutCols(), outer: outer})
+}
+
+func (b *builder) finishOrderLimit(root Node, stmt *sql.SelectStmt, sc *scope) (Node, error) {
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]SortKey, 0, len(stmt.OrderBy))
+		for _, o := range stmt.OrderBy {
+			cr, ok := o.Expr.(*sql.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("plan: ORDER BY supports only column keys, got %s", sql.FormatExpr(o.Expr))
+			}
+			col, found, err := sc.resolve(cr.Table, cr.Column)
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				// ORDER BY may name a projection alias.
+				col = ColRef{Table: cr.Table, Column: cr.Column}
+			}
+			keys = append(keys, SortKey{Col: col, Desc: o.Desc})
+		}
+		// ORDER BY may reference columns the projection discards; in that
+		// case the sort happens below the projection (standard SQL).
+		if proj, isProj := root.(*Proj); isProj && !keysAvailable(keys, root.OutCols()) &&
+			keysAvailable(keys, proj.In.OutCols()) {
+			root = &Proj{Items: proj.Items, In: &Sort{Keys: keys, In: proj.In}}
+		} else {
+			root = &Sort{Keys: keys, In: root}
+		}
+	}
+	if stmt.Limit != nil {
+		root = &Limit{N: *stmt.Limit, In: root}
+	}
+	return root, nil
+}
+
+func (b *builder) buildFrom(t sql.TableExpr, outer *scope) (Node, error) {
+	switch x := t.(type) {
+	case *sql.TableName:
+		return NewScan(b.schema, x.Name, x.Binding())
+	case *sql.JoinExpr:
+		l, err := b.buildFrom(x.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildFrom(x.Rite, outer)
+		if err != nil {
+			return nil, err
+		}
+		join := &Join{JoinKind: x.Kind, L: l, R: r}
+		if x.On != nil {
+			sc := &scope{cols: join.OutCols(), outer: outer}
+			on, err := b.resolveExpr(x.On, sc)
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		return join, nil
+	case *sql.SubqueryTable:
+		inner, err := b.buildSelect(x.Select, outer)
+		if err != nil {
+			return nil, err
+		}
+		if x.Alias == "" {
+			return nil, fmt.Errorf("plan: derived table requires an alias")
+		}
+		return &Derived{Binding: x.Alias, In: inner}, nil
+	}
+	return nil, fmt.Errorf("plan: unsupported FROM item %T", t)
+}
+
+// buildFilter lowers one WHERE conjunct over in.
+func (b *builder) buildFilter(in Node, conj sql.Expr, sc *scope) (Node, error) {
+	if ins, ok := conj.(*sql.InSubquery); ok && !ins.Negated {
+		cols, colsOK := b.inSubLeftCols(ins.E, sc)
+		if colsOK && !b.correlated(ins.Select, sc) {
+			sub, err := b.buildSelect(ins.Select, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(sub.OutCols()) != len(cols) {
+				return nil, fmt.Errorf("plan: IN subquery selects %d columns for %d-column comparison", len(sub.OutCols()), len(cols))
+			}
+			return &InSub{Cols: cols, In: in, Sub: sub}, nil
+		}
+	}
+	pred, err := b.resolveExpr(conj, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Sel{Pred: pred, In: in}, nil
+}
+
+func (b *builder) inSubLeftCols(e sql.Expr, sc *scope) ([]ColRef, bool) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		col, ok, err := sc.resolve(x.Table, x.Column)
+		if err != nil || !ok {
+			return nil, false
+		}
+		return []ColRef{col}, true
+	case *sql.TupleExpr:
+		var cols []ColRef
+		for _, it := range x.Items {
+			cr, ok := it.(*sql.ColumnRef)
+			if !ok {
+				return nil, false
+			}
+			col, found, err := sc.resolve(cr.Table, cr.Column)
+			if err != nil || !found {
+				return nil, false
+			}
+			cols = append(cols, col)
+		}
+		return cols, len(cols) > 0
+	}
+	return nil, false
+}
+
+// correlated reports whether the subquery references columns from sc that
+// its own FROM clause cannot supply.
+func (b *builder) correlated(sub *sql.SelectStmt, sc *scope) bool {
+	local := map[string]bool{}
+	var collectBindings func(t sql.TableExpr)
+	collectBindings = func(t sql.TableExpr) {
+		switch x := t.(type) {
+		case *sql.TableName:
+			local[x.Binding()] = true
+		case *sql.JoinExpr:
+			collectBindings(x.Left)
+			collectBindings(x.Rite)
+		case *sql.SubqueryTable:
+			local[x.Alias] = true
+		}
+	}
+	if sub.From != nil {
+		collectBindings(sub.From)
+	}
+	outerBindings := map[string]bool{}
+	for s := sc; s != nil; s = s.outer {
+		for _, c := range s.cols {
+			outerBindings[c.Table] = true
+		}
+	}
+	found := false
+	check := func(e sql.Expr) {
+		sql.WalkExprs(e, func(x sql.Expr) bool {
+			if cr, ok := x.(*sql.ColumnRef); ok {
+				if cr.Table != "" && !local[cr.Table] && outerBindings[cr.Table] {
+					found = true
+				}
+			}
+			if in, ok := x.(*sql.InSubquery); ok {
+				if b.correlated(in.Select, sc) {
+					found = true
+				}
+			}
+			if ex, ok := x.(*sql.ExistsExpr); ok {
+				if b.correlated(ex.Select, sc) {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	check(sub.Where)
+	check(sub.Having)
+	for _, it := range sub.Items {
+		check(it.Expr)
+	}
+	return found
+}
+
+func (b *builder) buildProjItems(items []sql.SelectItem, sc *scope) ([]ProjItem, error) {
+	var out []ProjItem
+	for _, it := range items {
+		if it.Star {
+			for _, c := range sc.cols {
+				if it.StarTable != "" && c.Table != it.StarTable {
+					continue
+				}
+				out = append(out, ProjItem{Expr: &sql.ColumnRef{Table: c.Table, Column: c.Column}})
+			}
+			continue
+		}
+		e, err := b.resolveExpr(it.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ProjItem{Expr: e, Alias: it.Alias})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plan: empty projection")
+	}
+	return out, nil
+}
+
+func (b *builder) buildAgg(in Node, stmt *sql.SelectStmt, sc *scope) (Node, error) {
+	agg := &Agg{In: in}
+	for _, g := range stmt.GroupBy {
+		cr, ok := g.(*sql.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("plan: GROUP BY supports only columns, got %s", sql.FormatExpr(g))
+		}
+		col, found, err := sc.resolve(cr.Table, cr.Column)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("plan: unknown GROUP BY column %s", cr.Column)
+		}
+		agg.GroupBy = append(agg.GroupBy, col)
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("plan: SELECT * with GROUP BY is not supported")
+		}
+		switch e := it.Expr.(type) {
+		case *sql.FuncCall:
+			if !sql.AggregateFuncs[e.Name] {
+				return nil, fmt.Errorf("plan: non-aggregate function %s in aggregate query", e.Name)
+			}
+			item := AggItem{Func: e.Name, Star: e.Star, Distinct: e.Distinct, Alias: it.Alias}
+			if !e.Star {
+				if len(e.Args) != 1 {
+					return nil, fmt.Errorf("plan: aggregate %s needs one argument", e.Name)
+				}
+				arg, err := b.resolveExpr(e.Args[0], sc)
+				if err != nil {
+					return nil, err
+				}
+				item.Arg = arg
+			}
+			agg.Items = append(agg.Items, item)
+		case *sql.ColumnRef:
+			col, found, err := sc.resolve(e.Table, e.Column)
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				return nil, fmt.Errorf("plan: unknown column %s", e.Column)
+			}
+			inGroup := false
+			for _, g := range agg.GroupBy {
+				if g == col {
+					inGroup = true
+				}
+			}
+			if !inGroup {
+				return nil, fmt.Errorf("plan: column %s not in GROUP BY", col)
+			}
+		default:
+			return nil, fmt.Errorf("plan: unsupported aggregate select item %s", sql.FormatExpr(it.Expr))
+		}
+	}
+	if stmt.Having != nil {
+		h, err := b.resolveExpr(stmt.Having, sc)
+		if err != nil {
+			return nil, err
+		}
+		agg.Having = h
+	}
+	return agg, nil
+}
+
+// resolveExpr rewrites column references with their resolved binding and
+// recursively builds any nested subqueries left inside predicates (negated
+// or correlated ones that did not become InSub operators).
+func (b *builder) resolveExpr(e sql.Expr, sc *scope) (sql.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *sql.ColumnRef:
+		col, found, err := sc.resolve(x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("plan: unknown column %s", ColRef{Table: x.Table, Column: x.Column})
+		}
+		return &sql.ColumnRef{Table: col.Table, Column: col.Column}, nil
+	case *sql.Literal, *sql.Param:
+		return e, nil
+	case *sql.BinaryExpr:
+		l, err := b.resolveExpr(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.resolveExpr(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sql.UnaryExpr:
+		inner, err := b.resolveExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.UnaryExpr{Op: x.Op, E: inner}, nil
+	case *sql.IsNullExpr:
+		inner, err := b.resolveExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.IsNullExpr{E: inner, Negated: x.Negated}, nil
+	case *sql.InListExpr:
+		inner, err := b.resolveExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]sql.Expr, len(x.List))
+		for i, it := range x.List {
+			r, err := b.resolveExpr(it, sc)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = r
+		}
+		return &sql.InListExpr{E: inner, List: list, Negated: x.Negated}, nil
+	case *sql.TupleExpr:
+		items := make([]sql.Expr, len(x.Items))
+		for i, it := range x.Items {
+			r, err := b.resolveExpr(it, sc)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = r
+		}
+		return &sql.TupleExpr{Items: items}, nil
+	case *sql.FuncCall:
+		args := make([]sql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			r, err := b.resolveExpr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return &sql.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct, Star: x.Star}, nil
+	case *sql.InSubquery, *sql.ExistsExpr, *sql.ScalarSubquery:
+		// Subqueries inside predicates are kept as-is; the engine evaluates
+		// them with the current row as the outer context.
+		return e, nil
+	case *sql.CaseExpr:
+		c := &sql.CaseExpr{}
+		for _, w := range x.Whens {
+			cond, err := b.resolveExpr(w.Cond, sc)
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.resolveExpr(w.Then, sc)
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, sql.CaseWhen{Cond: cond, Then: then})
+		}
+		if x.Else != nil {
+			els, err := b.resolveExpr(x.Else, sc)
+			if err != nil {
+				return nil, err
+			}
+			c.Else = els
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("plan: unsupported expression %T", e)
+}
+
+// keysAvailable reports whether every sort key resolves among cols (by exact
+// match or by bare column name).
+func keysAvailable(keys []SortKey, cols []ColRef) bool {
+	for _, k := range keys {
+		found := false
+		for _, c := range cols {
+			if c == k.Col || c.Column == k.Col.Column {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

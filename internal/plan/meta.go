@@ -1,0 +1,403 @@
+package plan
+
+import (
+	"wetune/internal/sql"
+)
+
+// This file derives integrity-constraint facts about plan outputs. The
+// rewriter uses these to decide whether a rule's Unique / NotNull / RefAttrs
+// constraints (§4.2) hold for a concrete match.
+
+// Origin traces an output column of n back to its originating base-table
+// column. ok is false when the column is computed (aggregates, expressions)
+// or ambiguous (UNION).
+func Origin(n Node, c ColRef) (table, column string, ok bool) {
+	switch x := n.(type) {
+	case *Scan:
+		if c.Table == x.Binding {
+			return x.Table, c.Column, true
+		}
+		return "", "", false
+	case *Proj:
+		for i, out := range x.OutCols() {
+			if out == c {
+				if cr, isCol := x.Items[i].Expr.(*sql.ColumnRef); isCol {
+					return Origin(x.In, ColRef{Table: cr.Table, Column: cr.Column})
+				}
+				return "", "", false
+			}
+		}
+		return "", "", false
+	case *Sel:
+		return Origin(x.In, c)
+	case *InSub:
+		return Origin(x.In, c)
+	case *Dedup:
+		return Origin(x.In, c)
+	case *Sort:
+		return Origin(x.In, c)
+	case *Limit:
+		return Origin(x.In, c)
+	case *Join:
+		if t, col, found := Origin(x.L, c); found {
+			return t, col, true
+		}
+		return Origin(x.R, c)
+	case *Derived:
+		if c.Table != x.Binding {
+			return "", "", false
+		}
+		for _, inner := range x.In.OutCols() {
+			if inner.Column == c.Column {
+				return Origin(x.In, inner)
+			}
+		}
+		return "", "", false
+	case *Agg:
+		for _, g := range x.GroupBy {
+			if g == c {
+				return Origin(x.In, c)
+			}
+		}
+		return "", "", false
+	}
+	return "", "", false
+}
+
+// mapThrough rewrites cols of node n to the corresponding columns of its
+// input, when possible (Proj item lookup, Derived unwrapping). Identity for
+// pass-through operators.
+func mapThrough(n Node, cols []ColRef) ([]ColRef, bool) {
+	switch x := n.(type) {
+	case *Proj:
+		out := x.OutCols()
+		mapped := make([]ColRef, len(cols))
+		for i, c := range cols {
+			found := false
+			for j, o := range out {
+				if o == c {
+					cr, isCol := x.Items[j].Expr.(*sql.ColumnRef)
+					if !isCol {
+						return nil, false
+					}
+					mapped[i] = ColRef{Table: cr.Table, Column: cr.Column}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, false
+			}
+		}
+		return mapped, true
+	case *Derived:
+		inner := x.In.OutCols()
+		mapped := make([]ColRef, len(cols))
+		for i, c := range cols {
+			if c.Table != x.Binding {
+				return nil, false
+			}
+			found := false
+			for _, o := range inner {
+				if o.Column == c.Column {
+					mapped[i] = o
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, false
+			}
+		}
+		return mapped, true
+	}
+	return cols, true
+}
+
+func sameColSet(a, b []ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := colSet(a)
+	for _, c := range b {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// UniqueOn reports whether the output of n is duplicate-free when restricted
+// to cols (i.e. cols form a key of the output). Conservative: false means
+// "cannot prove".
+func UniqueOn(n Node, cols []ColRef, schema *sql.Schema) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	switch x := n.(type) {
+	case *Scan:
+		def, ok := schema.Table(x.Table)
+		if !ok {
+			return false
+		}
+		names := make([]string, 0, len(cols))
+		for _, c := range cols {
+			if c.Table != x.Binding {
+				return false
+			}
+			names = append(names, c.Column)
+		}
+		return def.IsUnique(names)
+	case *Proj:
+		mapped, ok := mapThrough(x, cols)
+		return ok && UniqueOn(x.In, mapped, schema)
+	case *Derived:
+		mapped, ok := mapThrough(x, cols)
+		return ok && UniqueOn(x.In, mapped, schema)
+	case *Sel:
+		return UniqueOn(x.In, cols, schema)
+	case *InSub:
+		return UniqueOn(x.In, cols, schema)
+	case *Sort:
+		return UniqueOn(x.In, cols, schema)
+	case *Limit:
+		return UniqueOn(x.In, cols, schema)
+	case *Dedup:
+		// Dedup makes the full output row unique.
+		if sameColSet(cols, x.OutCols()) {
+			return true
+		}
+		return UniqueOn(x.In, cols, schema)
+	case *Agg:
+		// The group-by columns key the output, so any superset of them does.
+		return containsCols(cols, x.GroupBy)
+	case *Join:
+		// All cols from one side, that side unique on them, and the other
+		// side contributes at most one match per row (its equi-join columns
+		// are unique).
+		lc, rc, ok := x.EquiCols()
+		if !ok {
+			return false
+		}
+		lset := colSet(x.L.OutCols())
+		allLeft, allRight := true, true
+		for _, c := range cols {
+			if lset[c] {
+				allRight = false
+			} else {
+				allLeft = false
+			}
+		}
+		if allLeft && UniqueOn(x.L, cols, schema) && UniqueOn(x.R, rc, schema) {
+			return true
+		}
+		if allRight && x.JoinKind == sql.InnerJoin && UniqueOn(x.R, cols, schema) && UniqueOn(x.L, lc, schema) {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func containsCols(haystack, needles []ColRef) bool {
+	if len(needles) == 0 {
+		return false
+	}
+	set := colSet(haystack)
+	for _, n := range needles {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// NotNullOn reports whether every output row of n has non-NULL values on all
+// of cols. Conservative.
+func NotNullOn(n Node, cols []ColRef, schema *sql.Schema) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	switch x := n.(type) {
+	case *Scan:
+		def, ok := schema.Table(x.Table)
+		if !ok {
+			return false
+		}
+		names := make([]string, 0, len(cols))
+		for _, c := range cols {
+			if c.Table != x.Binding {
+				return false
+			}
+			names = append(names, c.Column)
+		}
+		return def.IsNotNull(names)
+	case *Proj:
+		mapped, ok := mapThrough(x, cols)
+		return ok && NotNullOn(x.In, mapped, schema)
+	case *Derived:
+		mapped, ok := mapThrough(x, cols)
+		return ok && NotNullOn(x.In, mapped, schema)
+	case *Sel:
+		if NotNullOn(x.In, cols, schema) {
+			return true
+		}
+		// An equality or IS NOT NULL filter implies non-NULL output.
+		implied := colSet(nil)
+		for _, conj := range sql.SplitConjuncts(x.Pred) {
+			switch e := conj.(type) {
+			case *sql.BinaryExpr:
+				if e.Op == "=" || e.Op == "<" || e.Op == "<=" || e.Op == ">" || e.Op == ">=" {
+					if cr, ok := e.L.(*sql.ColumnRef); ok {
+						implied[ColRef{Table: cr.Table, Column: cr.Column}] = true
+					}
+					if cr, ok := e.R.(*sql.ColumnRef); ok {
+						implied[ColRef{Table: cr.Table, Column: cr.Column}] = true
+					}
+				}
+			case *sql.IsNullExpr:
+				if e.Negated {
+					if cr, ok := e.E.(*sql.ColumnRef); ok {
+						implied[ColRef{Table: cr.Table, Column: cr.Column}] = true
+					}
+				}
+			}
+		}
+		rest := cols[:0:0]
+		for _, c := range cols {
+			if !implied[c] {
+				rest = append(rest, c)
+			}
+		}
+		return len(rest) == 0 || NotNullOn(x.In, rest, schema)
+	case *InSub:
+		if NotNullOn(x.In, cols, schema) {
+			return true
+		}
+		// The IN-selection columns themselves are non-NULL in the output.
+		rest := cols[:0:0]
+		inCols := colSet(x.Cols)
+		for _, c := range cols {
+			if !inCols[c] {
+				rest = append(rest, c)
+			}
+		}
+		return len(rest) == 0 || NotNullOn(x.In, rest, schema)
+	case *Dedup:
+		return NotNullOn(x.In, cols, schema)
+	case *Sort:
+		return NotNullOn(x.In, cols, schema)
+	case *Limit:
+		return NotNullOn(x.In, cols, schema)
+	case *Agg:
+		gset := colSet(x.GroupBy)
+		for _, c := range cols {
+			if !gset[c] {
+				return false
+			}
+		}
+		return NotNullOn(x.In, cols, schema)
+	case *Join:
+		lset := colSet(x.L.OutCols())
+		var lcols, rcols []ColRef
+		for _, c := range cols {
+			if lset[c] {
+				lcols = append(lcols, c)
+			} else {
+				rcols = append(rcols, c)
+			}
+		}
+		// Outer-join padding introduces NULLs on the padded side.
+		if len(rcols) > 0 && x.JoinKind == sql.LeftJoin {
+			return false
+		}
+		if len(lcols) > 0 && x.JoinKind == sql.RightJoin {
+			return false
+		}
+		if len(lcols) > 0 && !NotNullOn(x.L, lcols, schema) {
+			return false
+		}
+		if len(rcols) > 0 && !NotNullOn(x.R, rcols, schema) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// unfiltered reports whether n exposes all rows of a single base table
+// (possibly projected), i.e. no Sel/InSub/Join/Limit restricts it. Required
+// for the right side of a RefAttrs containment.
+func unfiltered(n Node) (table string, ok bool) {
+	switch x := n.(type) {
+	case *Scan:
+		return x.Table, true
+	case *Proj:
+		return unfiltered(x.In)
+	case *Dedup:
+		return unfiltered(x.In)
+	case *Sort:
+		return unfiltered(x.In)
+	case *Derived:
+		return unfiltered(x.In)
+	}
+	return "", false
+}
+
+// RefHolds reports whether every (non-NULL) value of src on srcCols also
+// appears in dst on dstCols — the RefAttrs(rel1, attrs1, rel2, attrs2)
+// constraint. It holds when (a) a declared foreign key links the originating
+// base columns and dst exposes all rows of the referenced table, or (b) both
+// sides originate from the same unrestricted table columns.
+func RefHolds(src Node, srcCols []ColRef, dst Node, dstCols []ColRef, schema *sql.Schema) bool {
+	if len(srcCols) == 0 || len(srcCols) != len(dstCols) {
+		return false
+	}
+	dstTable, dstOK := unfiltered(dst)
+	if !dstOK {
+		return false
+	}
+	srcTables := make([]string, len(srcCols))
+	srcNames := make([]string, len(srcCols))
+	for i, c := range srcCols {
+		t, col, ok := Origin(src, c)
+		if !ok {
+			return false
+		}
+		srcTables[i] = t
+		srcNames[i] = col
+	}
+	dstNames := make([]string, len(dstCols))
+	for i, c := range dstCols {
+		t, col, ok := Origin(dst, c)
+		if !ok || t != dstTable {
+			return false
+		}
+		dstNames[i] = col
+	}
+	// All src cols must come from one table for a single FK to cover them.
+	for i := 1; i < len(srcTables); i++ {
+		if srcTables[i] != srcTables[0] {
+			return false
+		}
+	}
+	// Case (b): same table, same columns.
+	if srcTables[0] == dstTable {
+		same := true
+		for i := range srcNames {
+			if srcNames[i] != dstNames[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	// Case (a): declared foreign key.
+	def, ok := schema.Table(srcTables[0])
+	if !ok {
+		return false
+	}
+	return def.References(srcNames, dstTable, dstNames)
+}

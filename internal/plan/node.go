@@ -1,0 +1,578 @@
+// Package plan defines WeTune's concrete logical query plans: the operators
+// of Table 2 in the paper (Input, Projection, Selection, In-Sub Selection,
+// Inner/Left/Right Join, Deduplication) plus the Aggregation, Union, Sort and
+// Limit operators needed by the SPES extension (§5.2) and by real workloads.
+// It also provides a builder from the SQL AST and a printer back to SQL.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wetune/internal/sql"
+)
+
+// Kind identifies a plan operator.
+type Kind int
+
+// Plan operator kinds.
+const (
+	KScan Kind = iota
+	KProj
+	KSel
+	KInSub
+	KJoin
+	KDedup
+	KAgg
+	KUnion
+	KSort
+	KLimit
+	KDerived // alias wrapper for derived tables
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KScan:
+		return "Input"
+	case KProj:
+		return "Proj"
+	case KSel:
+		return "Sel"
+	case KInSub:
+		return "InSub"
+	case KJoin:
+		return "Join"
+	case KDedup:
+		return "Dedup"
+	case KAgg:
+		return "Agg"
+	case KUnion:
+		return "Union"
+	case KSort:
+		return "Sort"
+	case KLimit:
+		return "Limit"
+	case KDerived:
+		return "Derived"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ColRef names an output column by its binding (table alias) and column name.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	Kind() Kind
+	Children() []Node
+	// WithChildren returns a shallow copy with the children replaced.
+	WithChildren(ch []Node) Node
+	// OutCols lists the output columns with their binding qualifiers.
+	OutCols() []ColRef
+}
+
+// Scan reads a base table (the paper's Input operator).
+type Scan struct {
+	Table   string
+	Binding string // alias; equals Table when unaliased
+	Cols    []ColRef
+}
+
+// NewScan builds a Scan for table with the given binding, resolving columns
+// against the schema.
+func NewScan(s *sql.Schema, table, binding string) (*Scan, error) {
+	def, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", table)
+	}
+	if binding == "" {
+		binding = table
+	}
+	cols := make([]ColRef, len(def.Columns))
+	for i, c := range def.Columns {
+		cols[i] = ColRef{Table: binding, Column: c.Name}
+	}
+	return &Scan{Table: table, Binding: binding, Cols: cols}, nil
+}
+
+func (s *Scan) Kind() Kind                  { return KScan }
+func (s *Scan) Children() []Node            { return nil }
+func (s *Scan) WithChildren(ch []Node) Node { cp := *s; return &cp }
+func (s *Scan) OutCols() []ColRef           { return s.Cols }
+
+// ProjItem is one projected expression with an output alias.
+type ProjItem struct {
+	Expr  sql.Expr
+	Alias string
+}
+
+// Proj projects its input onto a list of expressions. When every expression
+// is a plain column reference the node corresponds to the paper's
+// Proj_a operator and participates in template matching.
+type Proj struct {
+	Items []ProjItem
+	In    Node
+}
+
+func (p *Proj) Kind() Kind       { return KProj }
+func (p *Proj) Children() []Node { return []Node{p.In} }
+func (p *Proj) WithChildren(ch []Node) Node {
+	cp := *p
+	cp.In = ch[0]
+	return &cp
+}
+
+func (p *Proj) OutCols() []ColRef {
+	out := make([]ColRef, len(p.Items))
+	for i, it := range p.Items {
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sql.ColumnRef); ok {
+				name = c.Column
+			} else {
+				name = fmt.Sprintf("expr%d", i)
+			}
+		}
+		tbl := ""
+		if c, ok := it.Expr.(*sql.ColumnRef); ok && it.Alias == "" {
+			tbl = c.Table
+		}
+		out[i] = ColRef{Table: tbl, Column: name}
+	}
+	return out
+}
+
+// PlainCols returns the projected column refs when every item is a bare
+// column reference (no alias rebinding), which is the shape templates match.
+func (p *Proj) PlainCols() ([]ColRef, bool) {
+	out := make([]ColRef, len(p.Items))
+	for i, it := range p.Items {
+		c, ok := it.Expr.(*sql.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		out[i] = ColRef{Table: c.Table, Column: c.Column}
+	}
+	return out, true
+}
+
+// Sel filters its input by a predicate (the paper's Sel_{p,a}).
+type Sel struct {
+	Pred sql.Expr
+	In   Node
+}
+
+func (s *Sel) Kind() Kind       { return KSel }
+func (s *Sel) Children() []Node { return []Node{s.In} }
+func (s *Sel) WithChildren(ch []Node) Node {
+	cp := *s
+	cp.In = ch[0]
+	return &cp
+}
+func (s *Sel) OutCols() []ColRef { return s.In.OutCols() }
+
+// InSub keeps left-input tuples whose values on Cols appear in the right
+// input (the paper's InSub_a operator).
+type InSub struct {
+	Cols []ColRef
+	In   Node // outer query side
+	Sub  Node // subquery side
+}
+
+func (s *InSub) Kind() Kind       { return KInSub }
+func (s *InSub) Children() []Node { return []Node{s.In, s.Sub} }
+func (s *InSub) WithChildren(ch []Node) Node {
+	cp := *s
+	cp.In, cp.Sub = ch[0], ch[1]
+	return &cp
+}
+func (s *InSub) OutCols() []ColRef { return s.In.OutCols() }
+
+// JoinKind re-exports the AST join kinds for plans.
+type JoinKind = sql.JoinKind
+
+// Join is a binary join. On holds the full join condition; when it is a
+// conjunction of column equalities EquiCols exposes the paired columns used
+// by templates (IJoin/LJoin/RJoin_{al,ar}).
+type Join struct {
+	JoinKind JoinKind
+	On       sql.Expr
+	L, R     Node
+}
+
+func (j *Join) Kind() Kind       { return KJoin }
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+func (j *Join) WithChildren(ch []Node) Node {
+	cp := *j
+	cp.L, cp.R = ch[0], ch[1]
+	return &cp
+}
+
+func (j *Join) OutCols() []ColRef {
+	return append(append([]ColRef{}, j.L.OutCols()...), j.R.OutCols()...)
+}
+
+// EquiCols splits the ON condition into aligned left/right column lists when
+// it is a pure conjunction of equalities between one left and one right
+// column. ok is false otherwise (including CROSS joins).
+func (j *Join) EquiCols() (left, right []ColRef, ok bool) {
+	if j.On == nil {
+		return nil, nil, false
+	}
+	lcols := colSet(j.L.OutCols())
+	rcols := colSet(j.R.OutCols())
+	for _, conj := range sql.SplitConjuncts(j.On) {
+		be, isBin := conj.(*sql.BinaryExpr)
+		if !isBin || be.Op != "=" {
+			return nil, nil, false
+		}
+		lc, lok := be.L.(*sql.ColumnRef)
+		rc, rok := be.R.(*sql.ColumnRef)
+		if !lok || !rok {
+			return nil, nil, false
+		}
+		a := ColRef{Table: lc.Table, Column: lc.Column}
+		b := ColRef{Table: rc.Table, Column: rc.Column}
+		switch {
+		case lcols[a] && rcols[b]:
+			left = append(left, a)
+			right = append(right, b)
+		case lcols[b] && rcols[a]:
+			left = append(left, b)
+			right = append(right, a)
+		default:
+			return nil, nil, false
+		}
+	}
+	return left, right, len(left) > 0
+}
+
+// Dedup removes duplicate tuples (the paper's Dedup operator).
+type Dedup struct {
+	In Node
+}
+
+func (d *Dedup) Kind() Kind       { return KDedup }
+func (d *Dedup) Children() []Node { return []Node{d.In} }
+func (d *Dedup) WithChildren(ch []Node) Node {
+	cp := *d
+	cp.In = ch[0]
+	return &cp
+}
+func (d *Dedup) OutCols() []ColRef { return d.In.OutCols() }
+
+// AggItem is one aggregate output.
+type AggItem struct {
+	Func     string // COUNT, SUM, AVG, MIN, MAX
+	Arg      sql.Expr
+	Star     bool
+	Distinct bool
+	Alias    string
+}
+
+// Agg groups its input by GroupBy and computes aggregates; Having filters
+// groups. Matches Agg_{a_group, a_agg, f, p} from §5.2.
+type Agg struct {
+	GroupBy []ColRef
+	Items   []AggItem
+	Having  sql.Expr
+	In      Node
+}
+
+func (a *Agg) Kind() Kind       { return KAgg }
+func (a *Agg) Children() []Node { return []Node{a.In} }
+func (a *Agg) WithChildren(ch []Node) Node {
+	cp := *a
+	cp.In = ch[0]
+	return &cp
+}
+
+func (a *Agg) OutCols() []ColRef {
+	out := append([]ColRef{}, a.GroupBy...)
+	for i, it := range a.Items {
+		name := it.Alias
+		if name == "" {
+			name = fmt.Sprintf("%s%d", strings.ToLower(it.Func), i)
+		}
+		out = append(out, ColRef{Column: name})
+	}
+	return out
+}
+
+// Union combines two inputs; without All duplicates are removed.
+type Union struct {
+	All  bool
+	L, R Node
+}
+
+func (u *Union) Kind() Kind       { return KUnion }
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+func (u *Union) WithChildren(ch []Node) Node {
+	cp := *u
+	cp.L, cp.R = ch[0], ch[1]
+	return &cp
+}
+func (u *Union) OutCols() []ColRef { return u.L.OutCols() }
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Sort orders its input.
+type Sort struct {
+	Keys []SortKey
+	In   Node
+}
+
+func (s *Sort) Kind() Kind       { return KSort }
+func (s *Sort) Children() []Node { return []Node{s.In} }
+func (s *Sort) WithChildren(ch []Node) Node {
+	cp := *s
+	cp.In = ch[0]
+	return &cp
+}
+func (s *Sort) OutCols() []ColRef { return s.In.OutCols() }
+
+// Limit truncates its input to N rows.
+type Limit struct {
+	N  int64
+	In Node
+}
+
+func (l *Limit) Kind() Kind       { return KLimit }
+func (l *Limit) Children() []Node { return []Node{l.In} }
+func (l *Limit) WithChildren(ch []Node) Node {
+	cp := *l
+	cp.In = ch[0]
+	return &cp
+}
+func (l *Limit) OutCols() []ColRef { return l.In.OutCols() }
+
+// Derived rebinds the output of a subquery to a new table alias, like
+// `(SELECT ...) AS d`.
+type Derived struct {
+	Binding string
+	In      Node
+}
+
+func (d *Derived) Kind() Kind       { return KDerived }
+func (d *Derived) Children() []Node { return []Node{d.In} }
+func (d *Derived) WithChildren(ch []Node) Node {
+	cp := *d
+	cp.In = ch[0]
+	return &cp
+}
+
+func (d *Derived) OutCols() []ColRef {
+	in := d.In.OutCols()
+	out := make([]ColRef, len(in))
+	for i, c := range in {
+		out[i] = ColRef{Table: d.Binding, Column: c.Column}
+	}
+	return out
+}
+
+func colSet(cols []ColRef) map[ColRef]bool {
+	m := make(map[ColRef]bool, len(cols))
+	for _, c := range cols {
+		m[c] = true
+	}
+	return m
+}
+
+// Walk visits n and all descendants in preorder.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// OpCounts tallies operators by kind, the measure behind the paper's "q_dest
+// does not have more operators of each type than q_src" heuristic (§4.3).
+func OpCounts(n Node) map[Kind]int {
+	counts := map[Kind]int{}
+	Walk(n, func(m Node) bool {
+		counts[m.Kind()]++
+		return true
+	})
+	return counts
+}
+
+// NotMoreOpsThan reports whether a has at most as many operators of every
+// kind as b (Scan/Input nodes excluded, as in the paper's template size).
+func NotMoreOpsThan(a, b Node) bool {
+	ca, cb := OpCounts(a), OpCounts(b)
+	for k, n := range ca {
+		if k == KScan || k == KDerived {
+			continue
+		}
+		if n > cb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size counts operators excluding Scan/Derived nodes.
+func Size(n Node) int {
+	total := 0
+	Walk(n, func(m Node) bool {
+		if m.Kind() != KScan && m.Kind() != KDerived {
+			total++
+		}
+		return true
+	})
+	return total
+}
+
+// Fingerprint returns a canonical string for structural plan equality.
+func Fingerprint(n Node) string {
+	var b strings.Builder
+	fingerprint(&b, n)
+	return b.String()
+}
+
+func fingerprint(b *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case *Scan:
+		fmt.Fprintf(b, "Input(%s as %s)", x.Table, x.Binding)
+	case *Proj:
+		b.WriteString("Proj[")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(sql.FormatExpr(it.Expr))
+			if it.Alias != "" {
+				b.WriteString(" as " + it.Alias)
+			}
+		}
+		b.WriteString("](")
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *Sel:
+		b.WriteString("Sel[" + sql.FormatExpr(x.Pred) + "](")
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *InSub:
+		b.WriteString("InSub[")
+		for i, c := range x.Cols {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString("](")
+		fingerprint(b, x.In)
+		b.WriteString(",")
+		fingerprint(b, x.Sub)
+		b.WriteString(")")
+	case *Join:
+		on := ""
+		if x.On != nil {
+			on = sql.FormatExpr(x.On)
+		}
+		fmt.Fprintf(b, "%s[%s](", x.JoinKind, on)
+		fingerprint(b, x.L)
+		b.WriteString(",")
+		fingerprint(b, x.R)
+		b.WriteString(")")
+	case *Dedup:
+		b.WriteString("Dedup(")
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *Agg:
+		b.WriteString("Agg[")
+		for i, g := range x.GroupBy {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(g.String())
+		}
+		b.WriteString(";")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(it.Func)
+			if it.Star {
+				b.WriteString("(*)")
+			} else if it.Arg != nil {
+				b.WriteString("(" + sql.FormatExpr(it.Arg) + ")")
+			}
+		}
+		if x.Having != nil {
+			b.WriteString(";having " + sql.FormatExpr(x.Having))
+		}
+		b.WriteString("](")
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *Union:
+		if x.All {
+			b.WriteString("UnionAll(")
+		} else {
+			b.WriteString("Union(")
+		}
+		fingerprint(b, x.L)
+		b.WriteString(",")
+		fingerprint(b, x.R)
+		b.WriteString(")")
+	case *Sort:
+		b.WriteString("Sort[")
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(k.Col.String())
+			if k.Desc {
+				b.WriteString(" desc")
+			}
+		}
+		b.WriteString("](")
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *Limit:
+		fmt.Fprintf(b, "Limit[%d](", x.N)
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	case *Derived:
+		fmt.Fprintf(b, "Derived[%s](", x.Binding)
+		fingerprint(b, x.In)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "?%T", n)
+	}
+}
+
+// Equal reports structural plan equality via fingerprints.
+func Equal(a, b Node) bool { return Fingerprint(a) == Fingerprint(b) }
+
+// BaseTables returns the multiset of base table names scanned by the plan,
+// sorted. Used by the SPES-style verifier's input-table check.
+func BaseTables(n Node) []string {
+	var out []string
+	Walk(n, func(m Node) bool {
+		if s, ok := m.(*Scan); ok {
+			out = append(out, s.Table)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}

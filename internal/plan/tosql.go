@@ -1,0 +1,248 @@
+package plan
+
+import (
+	"fmt"
+
+	"wetune/internal/sql"
+)
+
+// ToSQL renders a logical plan back into a SELECT statement. Plans produced
+// by Build round-trip; plans produced by rewriting may need derived-table
+// wrappers, which the printer inserts automatically.
+func ToSQL(n Node) *sql.SelectStmt {
+	p := &sqlPrinter{}
+	parts := p.fold(n)
+	return parts.finish()
+}
+
+// ToSQLString is ToSQL followed by formatting.
+func ToSQLString(n Node) string { return sql.Format(ToSQL(n)) }
+
+type sqlPrinter struct {
+	aliasN int
+}
+
+// queryParts accumulates the clauses of one SELECT while folding a plan
+// subtree, tracking which slots are already occupied.
+type queryParts struct {
+	from     sql.TableExpr
+	where    []sql.Expr
+	items    []sql.SelectItem
+	groupBy  []sql.Expr
+	having   sql.Expr
+	distinct bool
+	orderBy  []sql.OrderItem
+	limit    *int64
+	compound *sql.SelectStmt // set when the subtree is a UNION
+
+	outCols []ColRef
+}
+
+func (q *queryParts) hasItems() bool    { return len(q.items) > 0 || len(q.groupBy) > 0 }
+func (q *queryParts) hasOrdering() bool { return len(q.orderBy) > 0 || q.limit != nil }
+
+func (q *queryParts) finish() *sql.SelectStmt {
+	if q.compound != nil {
+		q.compound.OrderBy = q.orderBy
+		q.compound.Limit = q.limit
+		return q.compound
+	}
+	stmt := &sql.SelectStmt{
+		Distinct: q.distinct,
+		From:     q.from,
+		Where:    sql.JoinConjuncts(q.where),
+		GroupBy:  q.groupBy,
+		Having:   q.having,
+		OrderBy:  q.orderBy,
+		Limit:    q.limit,
+	}
+	if len(q.items) == 0 {
+		stmt.Items = []sql.SelectItem{{Star: true}}
+	} else {
+		stmt.Items = q.items
+	}
+	return stmt
+}
+
+// wrap turns accumulated parts into a derived table so further operators can
+// start with fresh clause slots.
+func (p *sqlPrinter) wrap(q *queryParts) *queryParts {
+	p.aliasN++
+	alias := fmt.Sprintf("q%d", p.aliasN)
+	inner := q.finish()
+	cols := make([]ColRef, len(q.outCols))
+	for i, c := range q.outCols {
+		cols[i] = ColRef{Table: alias, Column: c.Column}
+	}
+	return &queryParts{
+		from:    &sql.SubqueryTable{Select: inner, Alias: alias},
+		outCols: cols,
+	}
+}
+
+func (p *sqlPrinter) fold(n Node) *queryParts {
+	switch x := n.(type) {
+	case *Scan:
+		tn := &sql.TableName{Name: x.Table}
+		if x.Binding != x.Table {
+			tn.Alias = x.Binding
+		}
+		return &queryParts{from: tn, outCols: x.OutCols()}
+	case *Derived:
+		inner := p.fold(x.In).finish()
+		cols := x.OutCols()
+		return &queryParts{
+			from:    &sql.SubqueryTable{Select: inner, Alias: x.Binding},
+			outCols: cols,
+		}
+	case *Sel:
+		q := p.fold(x.In)
+		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			q = p.wrap(q)
+		}
+		q.where = append(q.where, x.Pred)
+		return q
+	case *InSub:
+		beforeIn := x.In.OutCols()
+		q := p.fold(x.In)
+		wrapped := false
+		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			q = p.wrap(q)
+			wrapped = true
+		}
+		_ = beforeIn
+		_ = wrapped
+		sub := p.fold(x.Sub).finish()
+		var left sql.Expr
+		if len(x.Cols) == 1 {
+			left = &sql.ColumnRef{Table: x.Cols[0].Table, Column: x.Cols[0].Column}
+		} else {
+			t := &sql.TupleExpr{}
+			for _, c := range x.Cols {
+				t.Items = append(t.Items, &sql.ColumnRef{Table: c.Table, Column: c.Column})
+			}
+			left = t
+		}
+		q.where = append(q.where, &sql.InSubquery{E: left, Select: sub})
+		return q
+	case *Join:
+		l := p.fold(x.L)
+		r := p.fold(x.R)
+		on := x.On
+		if l.compound != nil || len(l.where) > 0 || l.hasItems() || l.distinct || l.hasOrdering() {
+			before := x.L.OutCols()
+			l = p.wrap(l)
+			on = remapWrapped(on, before, l.outCols)
+		}
+		if r.compound != nil || len(r.where) > 0 || r.hasItems() || r.distinct || r.hasOrdering() {
+			before := x.R.OutCols()
+			r = p.wrap(r)
+			on = remapWrapped(on, before, r.outCols)
+		}
+		je := &sql.JoinExpr{Kind: x.JoinKind, Left: l.from, Rite: r.from, On: on}
+		return &queryParts{
+			from:    je,
+			outCols: append(append([]ColRef{}, l.outCols...), r.outCols...),
+		}
+	case *Proj:
+		q := p.fold(x.In)
+		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			q = p.wrap(q)
+		}
+		for _, it := range x.Items {
+			q.items = append(q.items, sql.SelectItem{Expr: it.Expr, Alias: it.Alias})
+		}
+		q.outCols = x.OutCols()
+		return q
+	case *Dedup:
+		q := p.fold(x.In)
+		if q.compound != nil || q.distinct || q.hasOrdering() {
+			q = p.wrap(q)
+		}
+		q.distinct = true
+		return q
+	case *Agg:
+		q := p.fold(x.In)
+		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			q = p.wrap(q)
+		}
+		for _, g := range x.GroupBy {
+			gref := &sql.ColumnRef{Table: g.Table, Column: g.Column}
+			q.groupBy = append(q.groupBy, gref)
+			q.items = append(q.items, sql.SelectItem{Expr: gref})
+		}
+		for _, it := range x.Items {
+			f := &sql.FuncCall{Name: it.Func, Star: it.Star, Distinct: it.Distinct}
+			if it.Arg != nil {
+				f.Args = []sql.Expr{it.Arg}
+			}
+			q.items = append(q.items, sql.SelectItem{Expr: f, Alias: it.Alias})
+		}
+		q.having = x.Having
+		q.outCols = x.OutCols()
+		return q
+	case *Union:
+		l := p.fold(x.L).finish()
+		r := p.fold(x.R).finish()
+		op := "UNION"
+		if x.All {
+			op = "UNION ALL"
+		}
+		return &queryParts{
+			compound: &sql.SelectStmt{SetOp: op, SetLeft: l, SetRight: r},
+			outCols:  x.OutCols(),
+		}
+	case *Sort:
+		q := p.fold(x.In)
+		if q.hasOrdering() {
+			q = p.wrap(q)
+		}
+		for _, k := range x.Keys {
+			q.orderBy = append(q.orderBy, sql.OrderItem{
+				Expr: &sql.ColumnRef{Table: k.Col.Table, Column: k.Col.Column},
+				Desc: k.Desc,
+			})
+		}
+		return q
+	case *Limit:
+		q := p.fold(x.In)
+		if q.limit != nil {
+			q = p.wrap(q)
+		}
+		n := x.N
+		q.limit = &n
+		return q
+	}
+	panic(fmt.Sprintf("plan: ToSQL cannot fold %T", n))
+}
+
+// remapWrapped rewrites column references that pointed at a child's original
+// output columns to the derived-table alias introduced by wrap().
+func remapWrapped(e sql.Expr, before, after []ColRef) sql.Expr {
+	if e == nil || len(before) != len(after) {
+		return e
+	}
+	mapping := map[ColRef]ColRef{}
+	for i := range before {
+		mapping[before[i]] = after[i]
+	}
+	var rec func(e sql.Expr) sql.Expr
+	rec = func(e sql.Expr) sql.Expr {
+		switch x := e.(type) {
+		case *sql.ColumnRef:
+			if nc, ok := mapping[ColRef{Table: x.Table, Column: x.Column}]; ok {
+				return &sql.ColumnRef{Table: nc.Table, Column: nc.Column}
+			}
+			return x
+		case *sql.BinaryExpr:
+			return &sql.BinaryExpr{Op: x.Op, L: rec(x.L), R: rec(x.R)}
+		case *sql.UnaryExpr:
+			return &sql.UnaryExpr{Op: x.Op, E: rec(x.E)}
+		case *sql.IsNullExpr:
+			return &sql.IsNullExpr{E: rec(x.E), Negated: x.Negated}
+		default:
+			return e
+		}
+	}
+	return rec(e)
+}

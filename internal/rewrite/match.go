@@ -1,0 +1,511 @@
+// Package rewrite applies WeTune rules to concrete query plans (§6, §7): it
+// matches a rule's source template against plan fragments, checks the rule's
+// constraints against schema integrity metadata, instantiates the destination
+// template, and drives a greedy cost-guided rewriting loop. It also houses
+// the ORDER BY elimination and redundant-rule reduction of §7.
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"wetune/internal/constraint"
+	"wetune/internal/plan"
+	"wetune/internal/rules"
+	"wetune/internal/sql"
+	"wetune/internal/template"
+)
+
+// attrsBinding records the concrete columns an attribute-list symbol matched,
+// together with the subplan whose output they belong to (for Origin checks).
+type attrsBinding struct {
+	cols  []plan.ColRef
+	owner plan.Node
+}
+
+// binding maps template symbols to concrete plan fragments.
+type binding struct {
+	rels  map[template.Sym]plan.Node
+	attrs map[template.Sym]attrsBinding
+	preds map[template.Sym]sql.Expr
+	funcs map[template.Sym][]plan.AggItem
+}
+
+func newBinding() *binding {
+	return &binding{
+		rels:  map[template.Sym]plan.Node{},
+		attrs: map[template.Sym]attrsBinding{},
+		preds: map[template.Sym]sql.Expr{},
+		funcs: map[template.Sym][]plan.AggItem{},
+	}
+}
+
+func (b *binding) clone() *binding {
+	nb := newBinding()
+	for k, v := range b.rels {
+		nb.rels[k] = v
+	}
+	for k, v := range b.attrs {
+		nb.attrs[k] = v
+	}
+	for k, v := range b.preds {
+		nb.preds[k] = v
+	}
+	for k, v := range b.funcs {
+		nb.funcs[k] = v
+	}
+	return nb
+}
+
+// aliasFingerprint renders a plan with scan aliases canonicalized, so that
+// two scans of the same table under different aliases compare equal. The
+// plan is structurally rewritten to positional aliases before printing.
+func aliasFingerprint(n plan.Node) string {
+	rename := map[string]string{}
+	plan.Walk(n, func(m plan.Node) bool {
+		switch x := m.(type) {
+		case *plan.Scan:
+			if _, seen := rename[x.Binding]; !seen {
+				rename[x.Binding] = fmt.Sprintf("b%d", len(rename))
+			}
+		case *plan.Derived:
+			if _, seen := rename[x.Binding]; !seen {
+				rename[x.Binding] = fmt.Sprintf("b%d", len(rename))
+			}
+		}
+		return true
+	})
+	return plan.Fingerprint(renameBindings(n, rename))
+}
+
+// match attempts to bind tpl against n, extending b. Returns false without
+// mutating b's semantics on failure (b may contain partial bindings; callers
+// pass a clone).
+func (m *Matcher) match(tpl *template.Node, n plan.Node, b *binding) bool {
+	switch tpl.Op {
+	case template.OpInput:
+		if prev, ok := b.rels[tpl.Rel]; ok {
+			return aliasFingerprint(prev) == aliasFingerprint(n)
+		}
+		b.rels[tpl.Rel] = n
+		return true
+	case template.OpProj:
+		p, ok := n.(*plan.Proj)
+		if !ok {
+			return false
+		}
+		cols, plain := p.PlainCols()
+		if !plain {
+			return false
+		}
+		if !m.bindAttrs(tpl.Attrs, cols, p.In, b) {
+			return false
+		}
+		return m.match(tpl.Children[0], p.In, b)
+	case template.OpSel:
+		s, ok := n.(*plan.Sel)
+		if !ok {
+			return false
+		}
+		cols := predColumns(s.Pred)
+		if len(cols) == 0 {
+			// Predicates over constants only still match with the input's
+			// first column standing in for the attribute list.
+			if len(s.In.OutCols()) == 0 {
+				return false
+			}
+			cols = s.In.OutCols()[:1]
+		}
+		if !m.bindAttrs(tpl.Attrs, cols, s.In, b) {
+			return false
+		}
+		if !m.bindPred(tpl.Pred, s.Pred, b) {
+			return false
+		}
+		return m.match(tpl.Children[0], s.In, b)
+	case template.OpInSub:
+		is, ok := n.(*plan.InSub)
+		if !ok {
+			return false
+		}
+		if !m.bindAttrs(tpl.Attrs, is.Cols, is.In, b) {
+			return false
+		}
+		return m.match(tpl.Children[0], is.In, b) && m.match(tpl.Children[1], is.Sub, b)
+	case template.OpIJoin, template.OpLJoin, template.OpRJoin:
+		j, ok := n.(*plan.Join)
+		if !ok {
+			return false
+		}
+		var want sql.JoinKind
+		switch tpl.Op {
+		case template.OpIJoin:
+			want = sql.InnerJoin
+		case template.OpLJoin:
+			want = sql.LeftJoin
+		default:
+			want = sql.RightJoin
+		}
+		if j.JoinKind != want {
+			return false
+		}
+		lc, rc, ok := j.EquiCols()
+		if !ok {
+			return false
+		}
+		if !m.bindAttrs(tpl.Attrs, lc, j.L, b) || !m.bindAttrs(tpl.Attrs2, rc, j.R, b) {
+			return false
+		}
+		return m.match(tpl.Children[0], j.L, b) && m.match(tpl.Children[1], j.R, b)
+	case template.OpDedup:
+		d, ok := n.(*plan.Dedup)
+		if !ok {
+			return false
+		}
+		return m.match(tpl.Children[0], d.In, b)
+	case template.OpAgg:
+		a, ok := n.(*plan.Agg)
+		if !ok {
+			return false
+		}
+		if !m.bindAttrs(tpl.Attrs, a.GroupBy, a.In, b) {
+			return false
+		}
+		var aggCols []plan.ColRef
+		for _, it := range a.Items {
+			if cr, isCol := it.Arg.(*sql.ColumnRef); isCol {
+				aggCols = append(aggCols, plan.ColRef{Table: cr.Table, Column: cr.Column})
+			}
+		}
+		if len(aggCols) == 0 {
+			aggCols = a.GroupBy
+		}
+		if !m.bindAttrs(tpl.Attrs2, aggCols, a.In, b) {
+			return false
+		}
+		if prev, ok := b.funcs[tpl.Func]; ok {
+			if aggItemsKey(prev) != aggItemsKey(a.Items) {
+				return false
+			}
+		} else {
+			b.funcs[tpl.Func] = a.Items
+		}
+		having := a.Having
+		if having == nil {
+			having = &sql.Literal{Val: sql.NewBool(true)}
+		}
+		if !m.bindPred(tpl.Pred, having, b) {
+			return false
+		}
+		return m.match(tpl.Children[0], a.In, b)
+	case template.OpUnion:
+		u, ok := n.(*plan.Union)
+		if !ok {
+			return false
+		}
+		return m.match(tpl.Children[0], u.L, b) && m.match(tpl.Children[1], u.R, b)
+	}
+	return false
+}
+
+func aggItemsKey(items []plan.AggItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		arg := "*"
+		if it.Arg != nil {
+			arg = sql.FormatExpr(it.Arg)
+		}
+		parts[i] = it.Func + "(" + arg + ")"
+	}
+	return strings.Join(parts, ",")
+}
+
+// bindAttrs binds an attribute symbol, or checks consistency with an
+// existing binding (same symbol appearing twice means equal attributes).
+func (m *Matcher) bindAttrs(sym template.Sym, cols []plan.ColRef, owner plan.Node, b *binding) bool {
+	if prev, ok := b.attrs[sym]; ok {
+		return m.attrsEquivalent(prev, attrsBinding{cols: cols, owner: owner})
+	}
+	b.attrs[sym] = attrsBinding{cols: cols, owner: owner}
+	return true
+}
+
+func (m *Matcher) bindPred(sym template.Sym, pred sql.Expr, b *binding) bool {
+	if prev, ok := b.preds[sym]; ok {
+		return m.predsEquivalent(prev, pred)
+	}
+	b.preds[sym] = pred
+	return true
+}
+
+// predColumns lists the column references a predicate reads (outside
+// subqueries), deduplicated in first-appearance order.
+func predColumns(e sql.Expr) []plan.ColRef {
+	var out []plan.ColRef
+	seen := map[plan.ColRef]bool{}
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if cr, ok := x.(*sql.ColumnRef); ok {
+			c := plan.ColRef{Table: cr.Table, Column: cr.Column}
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// attrsEquivalent compares two attribute bindings by the base-table origin of
+// each column (AttrsEq semantics: the same attributes of the same relation).
+func (m *Matcher) attrsEquivalent(a, b attrsBinding) bool {
+	if len(a.cols) != len(b.cols) {
+		return false
+	}
+	for i := range a.cols {
+		t1, c1, ok1 := plan.Origin(a.owner, a.cols[i])
+		t2, c2, ok2 := plan.Origin(b.owner, b.cols[i])
+		if !ok1 || !ok2 {
+			// Fall back to bare column-name comparison.
+			if a.cols[i].Column != b.cols[i].Column {
+				return false
+			}
+			continue
+		}
+		if t1 != t2 || c1 != c2 {
+			return false
+		}
+	}
+	return true
+}
+
+// predsEquivalent compares predicates with column qualifiers replaced by
+// their origin tables, so `m.commit_id = 7` and `n.commit_id = 7` over the
+// same base table compare equal.
+func (m *Matcher) predsEquivalent(a, b sql.Expr) bool {
+	return normalizePredString(a) == normalizePredString(b)
+}
+
+func normalizePredString(e sql.Expr) string {
+	s := sql.FormatExpr(e)
+	// Strip table qualifiers: compare by column name and structure.
+	var out strings.Builder
+	i := 0
+	for i < len(s) {
+		j := strings.IndexByte(s[i:], '.')
+		if j < 0 {
+			out.WriteString(s[i:])
+			break
+		}
+		j += i
+		// Walk back over the identifier before the dot and drop it.
+		k := j
+		for k > i && isIdentByte(s[k-1]) {
+			k--
+		}
+		out.WriteString(s[i:k])
+		i = j + 1
+	}
+	return out.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// checkConstraints verifies a rule's constraint set against a binding. Only
+// the rule's stated constraints are checked (the closure's congruence
+// variants re-express value-side facts across relation instances, which a
+// concrete checker must not take literally); symbols without a direct
+// binding resolve through their equivalence class for the relation-level
+// facts (Unique/NotNull/RefAttrs).
+func (m *Matcher) checkConstraints(rule rules.Rule, b *binding) bool {
+	reps := equivalenceMembers(rule.Constraints)
+	relOf := func(sym template.Sym) (plan.Node, bool) {
+		if p, ok := b.rels[sym]; ok {
+			return p, true
+		}
+		for _, s := range reps[sym] {
+			if p, ok := b.rels[s]; ok {
+				return p, true
+			}
+		}
+		return nil, false
+	}
+	attrOf := func(sym template.Sym) (attrsBinding, bool) {
+		if a, ok := b.attrs[sym]; ok {
+			return a, true
+		}
+		for _, s := range reps[sym] {
+			if a, ok := b.attrs[s]; ok {
+				return a, true
+			}
+		}
+		return attrsBinding{}, false
+	}
+	for _, c := range rule.Constraints.Items() {
+		switch c.Kind {
+		case constraint.RelEq:
+			p1, ok1 := b.rels[c.Syms[0]]
+			p2, ok2 := b.rels[c.Syms[1]]
+			if ok1 && ok2 && aliasFingerprint(p1) != aliasFingerprint(p2) {
+				return false
+			}
+		case constraint.AttrsEq:
+			a1, ok1 := b.attrs[c.Syms[0]]
+			a2, ok2 := b.attrs[c.Syms[1]]
+			if ok1 && ok2 && !m.attrsEquivalent(a1, a2) {
+				return false
+			}
+		case constraint.PredEq:
+			p1, ok1 := b.preds[c.Syms[0]]
+			p2, ok2 := b.preds[c.Syms[1]]
+			if ok1 && ok2 && !m.predsEquivalent(p1, p2) {
+				return false
+			}
+		case constraint.SubAttrs:
+			a1, ok := b.attrs[c.Syms[0]]
+			if !ok {
+				continue
+			}
+			if c.Syms[1].Kind == template.KAttrsOf {
+				rel, okRel := b.rels[template.Sym{Kind: template.KRel, ID: c.Syms[1].ID}]
+				if !okRel {
+					continue
+				}
+				// Strict membership: SubAttrs decides WHICH side supplies the
+				// values, so origin-based relocation would be unsound here
+				// (two instances of one relation carry different rows).
+				if !colsExactlyFrom(a1.cols, rel) {
+					return false
+				}
+			} else if a2, ok2 := b.attrs[c.Syms[1]]; ok2 {
+				if !colsSubset(a1.cols, a2.cols) {
+					return false
+				}
+			}
+		case constraint.Unique:
+			rel, okRel := relOf(c.Syms[0])
+			a, okAttr := attrOf(c.Syms[1])
+			if okRel && okAttr {
+				cols, ok := m.colsInPlan(a, rel)
+				if !ok || !plan.UniqueOn(rel, cols, m.Schema) {
+					return false
+				}
+			}
+		case constraint.NotNull:
+			rel, okRel := relOf(c.Syms[0])
+			a, okAttr := attrOf(c.Syms[1])
+			if okRel && okAttr {
+				cols, ok := m.colsInPlan(a, rel)
+				if !ok || !plan.NotNullOn(rel, cols, m.Schema) {
+					return false
+				}
+			}
+		case constraint.RefAttrs:
+			r1, ok1 := relOf(c.Syms[0])
+			a1, ok2 := attrOf(c.Syms[1])
+			r2, ok3 := relOf(c.Syms[2])
+			a2, ok4 := attrOf(c.Syms[3])
+			if ok1 && ok2 && ok3 && ok4 {
+				c1, okA := m.colsInPlan(a1, r1)
+				c2, okB := m.colsInPlan(a2, r2)
+				if !okA || !okB || !plan.RefHolds(r1, c1, r2, c2, m.Schema) {
+					return false
+				}
+			}
+		case constraint.AggrEq:
+			f1, ok1 := b.funcs[c.Syms[0]]
+			f2, ok2 := b.funcs[c.Syms[1]]
+			if ok1 && ok2 && aggItemsKey(f1) != aggItemsKey(f2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// colsInPlan maps an attribute binding into a relation's output columns:
+// exact matches pass through; otherwise columns are relocated by base-table
+// origin (the constraint closure propagates Unique/NotNull/SubAttrs across
+// RelEq-equal relation instances whose aliases differ). ok is false when a
+// column belongs to neither.
+func (m *Matcher) colsInPlan(a attrsBinding, p plan.Node) ([]plan.ColRef, bool) {
+	out := p.OutCols()
+	exact := map[plan.ColRef]bool{}
+	for _, c := range out {
+		exact[c] = true
+	}
+	mapped := make([]plan.ColRef, len(a.cols))
+	for i, c := range a.cols {
+		if exact[c] {
+			mapped[i] = c
+			continue
+		}
+		t1, col1, ok1 := plan.Origin(a.owner, c)
+		if !ok1 {
+			return nil, false
+		}
+		found := false
+		for _, oc := range out {
+			t2, col2, ok2 := plan.Origin(p, oc)
+			if ok2 && t1 == t2 && col1 == col2 {
+				mapped[i] = oc
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return mapped, true
+}
+
+func colsSubset(a, b []plan.ColRef) bool {
+	set := map[plan.ColRef]bool{}
+	for _, c := range b {
+		set[c] = true
+	}
+	for _, c := range a {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// equivalenceMembers maps each symbol to its equivalence-class members under
+// the rule's equality constraints.
+func equivalenceMembers(cs *constraint.Set) map[template.Sym][]template.Sym {
+	cl := constraint.Closure(cs)
+	members := map[template.Sym][]template.Sym{}
+	for _, kind := range []constraint.Kind{
+		constraint.RelEq, constraint.AttrsEq, constraint.PredEq, constraint.AggrEq,
+	} {
+		uf := constraint.UnionFind(cl, kind)
+		byRep := map[template.Sym][]template.Sym{}
+		for s, rep := range uf {
+			byRep[rep] = append(byRep[rep], s)
+		}
+		for s, rep := range uf {
+			members[s] = byRep[rep]
+		}
+	}
+	return members
+}
+
+// colsExactlyFrom checks strict membership of every column in the subplan's
+// outputs.
+func colsExactlyFrom(cols []plan.ColRef, p plan.Node) bool {
+	out := map[plan.ColRef]bool{}
+	for _, c := range p.OutCols() {
+		out[c] = true
+	}
+	for _, c := range cols {
+		if !out[c] {
+			return false
+		}
+	}
+	return true
+}

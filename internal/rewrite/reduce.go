@@ -1,0 +1,50 @@
+package rewrite
+
+import (
+	"wetune/internal/plan"
+	"wetune/internal/rules"
+	"wetune/internal/spes"
+)
+
+// Reduce removes redundant rules (§7): a rule R is reducible under a rule set
+// when rewriting R's own minimal probing query without R produces the same
+// result as with it — some composition of the remaining rules covers R. The
+// probing query is R's source template concretized with the integrity
+// constraints its rule demands (Figure 7).
+func Reduce(rs []rules.Rule) (kept []rules.Rule, removed []rules.Rule) {
+	kept = append([]rules.Rule{}, rs...)
+	for i := 0; i < len(kept); i++ {
+		r := kept[i]
+		rest := make([]rules.Rule, 0, len(kept)-1)
+		rest = append(rest, kept[:i]...)
+		rest = append(rest, kept[i+1:]...)
+		if reducible(r, kept, rest) {
+			removed = append(removed, r)
+			kept = rest
+			i--
+		}
+	}
+	return kept, removed
+}
+
+// reducible checks Rewrite(all, q) == Rewrite(all - {R}, q) on R's probing
+// query.
+func reducible(r rules.Rule, all, rest []rules.Rule) bool {
+	cSrc, _, err := spes.Concretize(r.Src, r.Dest, r.Constraints)
+	if err != nil {
+		return false
+	}
+	probe := cSrc.Plan
+	schema := cSrc.Schema
+
+	full := NewRewriter(all, schema)
+	without := NewRewriter(rest, schema)
+	gotFull, appliedFull := full.Rewrite(probe)
+	gotRest, _ := without.Rewrite(probe)
+	if len(appliedFull) == 0 {
+		// The rule does not even fire on its own probe (constraints depend
+		// on data-specific facts the probe schema cannot encode); keep it.
+		return false
+	}
+	return plan.Fingerprint(gotFull) == plan.Fingerprint(gotRest)
+}

@@ -1,0 +1,317 @@
+package rewrite
+
+import (
+	"sort"
+
+	"wetune/internal/engine"
+	"wetune/internal/plan"
+	"wetune/internal/rules"
+	"wetune/internal/sql"
+)
+
+// Applied records one rewrite step.
+type Applied struct {
+	RuleNo   int
+	RuleName string
+}
+
+// Candidate is one possible single-step rewrite of a plan.
+type Candidate struct {
+	Plan plan.Node
+	Rule rules.Rule
+}
+
+// Rewriter drives WeTune's greedy rewriting loop (§6): at each step it
+// applies the rule producing the most simplified plan (fewest operators),
+// breaking ties with the cost estimator when a DB is attached, until no rule
+// improves the plan.
+type Rewriter struct {
+	Rules    []rules.Rule
+	Schema   *sql.Schema
+	DB       *engine.DB // optional: enables cost-based tie-breaking
+	MaxSteps int
+}
+
+// NewRewriter builds a rewriter over the given rule set.
+func NewRewriter(rs []rules.Rule, schema *sql.Schema) *Rewriter {
+	return &Rewriter{Rules: rs, Schema: schema, MaxSteps: 10}
+}
+
+// Candidates returns every single-step rewrite of p (any rule, any position).
+func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
+	m := &Matcher{Schema: rw.Schema}
+	var out []Candidate
+	for _, rule := range rw.Rules {
+		for _, path := range nodePaths(p) {
+			frag := nodeAt(p, path)
+			repl, ok := m.Apply(rule, frag)
+			if !ok {
+				continue
+			}
+			np := replaceAt(p, path, repl)
+			if plan.Fingerprint(np) == plan.Fingerprint(p) {
+				continue // no-op application
+			}
+			out = append(out, Candidate{Plan: np, Rule: rule})
+		}
+	}
+	return out
+}
+
+// Rewrite greedily rewrites p, returning the final plan and the applied rule
+// sequence. ORDER BY elimination (§7) runs first.
+func (rw *Rewriter) Rewrite(p plan.Node) (plan.Node, []Applied) {
+	cur := EliminateOrderBy(p)
+	var applied []Applied
+	steps := rw.MaxSteps
+	if steps <= 0 {
+		steps = 10
+	}
+	seen := map[string]bool{plan.Fingerprint(cur): true}
+	for step := 0; step < steps; step++ {
+		best := rw.pickBest(cur, rw.Candidates(cur), seen)
+		if best == nil {
+			break
+		}
+		cur = best.Plan
+		seen[plan.Fingerprint(cur)] = true
+		applied = append(applied, Applied{RuleNo: best.Rule.No, RuleName: best.Rule.Name})
+	}
+	return cur, applied
+}
+
+// pickBest selects the candidate that most simplifies the plan: smallest
+// operator count, then lowest estimated cost. Candidates that neither shrink
+// the plan nor reduce cost are rejected (termination), as are already-seen
+// plans (cycle avoidance for enabler rules like join commutation).
+func (rw *Rewriter) pickBest(cur plan.Node, cands []Candidate, seen map[string]bool) *Candidate {
+	curSize := plan.Size(cur)
+	curCost := rw.cost(cur)
+	var best *Candidate
+	bestSize := curSize
+	bestCost := curCost
+	for i := range cands {
+		c := &cands[i]
+		if seen[plan.Fingerprint(c.Plan)] {
+			continue
+		}
+		size := plan.Size(c.Plan)
+		cost := rw.cost(c.Plan)
+		improves := size < bestSize || (size == bestSize && cost < bestCost)
+		if improves {
+			best = c
+			bestSize = size
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+func (rw *Rewriter) cost(p plan.Node) float64 {
+	if rw.DB != nil {
+		return rw.DB.EstimateCost(p)
+	}
+	return float64(plan.Size(p))
+}
+
+// --- tree paths ---
+
+func nodePaths(p plan.Node) [][]int {
+	var out [][]int
+	var rec func(n plan.Node, path []int)
+	rec = func(n plan.Node, path []int) {
+		out = append(out, append([]int{}, path...))
+		for i, c := range n.Children() {
+			rec(c, append(path, i))
+		}
+	}
+	rec(p, nil)
+	return out
+}
+
+func nodeAt(p plan.Node, path []int) plan.Node {
+	cur := p
+	for _, i := range path {
+		cur = cur.Children()[i]
+	}
+	return cur
+}
+
+func replaceAt(p plan.Node, path []int, repl plan.Node) plan.Node {
+	if len(path) == 0 {
+		return repl
+	}
+	children := p.Children()
+	newChildren := make([]plan.Node, len(children))
+	copy(newChildren, children)
+	newChildren[path[0]] = replaceAt(children[path[0]], path[1:], repl)
+	return p.WithChildren(newChildren)
+}
+
+// EliminateOrderBy removes Sort operators whose ordering cannot affect query
+// results (§7). A Sort matters only when its ordering is still observable at
+// the root or feeds a LIMIT through order-preserving operators
+// (Proj/Sel/Dedup/InSub-left). Everything else — sorts inside IN-subqueries,
+// under joins or aggregations — is stripped, as are ORDER BY clauses in
+// predicate-level subqueries without LIMIT.
+func EliminateOrderBy(p plan.Node) plan.Node {
+	return elimSort(p, true)
+}
+
+// elimSort walks the plan; protected means an enclosing root/LIMIT still
+// observes this subtree's row order through order-preserving operators.
+func elimSort(p plan.Node, protected bool) plan.Node {
+	switch x := p.(type) {
+	case *plan.Sort:
+		// Any sort below this one is overridden by it.
+		in := elimSort(x.In, false)
+		if !protected {
+			return in
+		}
+		return &plan.Sort{Keys: x.Keys, In: in}
+	case *plan.Limit:
+		return &plan.Limit{N: x.N, In: elimSort(x.In, true)}
+	case *plan.Proj:
+		items := make([]plan.ProjItem, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = plan.ProjItem{Expr: stripSubqueryOrderBy(it.Expr), Alias: it.Alias}
+		}
+		return &plan.Proj{Items: items, In: elimSort(x.In, protected)}
+	case *plan.Sel:
+		return &plan.Sel{Pred: stripSubqueryOrderBy(x.Pred), In: elimSort(x.In, protected)}
+	case *plan.Dedup:
+		return &plan.Dedup{In: elimSort(x.In, protected)}
+	case *plan.InSub:
+		return &plan.InSub{
+			Cols: x.Cols,
+			In:   elimSort(x.In, protected),
+			Sub:  elimSort(x.Sub, false),
+		}
+	case *plan.Derived:
+		return &plan.Derived{Binding: x.Binding, In: elimSort(x.In, protected)}
+	default:
+		children := p.Children()
+		if len(children) == 0 {
+			return p
+		}
+		newChildren := make([]plan.Node, len(children))
+		for i, c := range children {
+			newChildren[i] = elimSort(c, false)
+		}
+		return p.WithChildren(newChildren)
+	}
+}
+
+// stripSubqueryOrderBy removes ORDER BY clauses from IN/EXISTS subqueries in
+// predicates when no LIMIT depends on them.
+func stripSubqueryOrderBy(e sql.Expr) sql.Expr {
+	if e == nil {
+		return nil
+	}
+	strip := func(s *sql.SelectStmt) {
+		var rec func(s *sql.SelectStmt)
+		rec = func(s *sql.SelectStmt) {
+			if s == nil {
+				return
+			}
+			if s.Limit == nil {
+				s.OrderBy = nil
+			}
+			rec(s.SetLeft)
+			rec(s.SetRight)
+			if w := s.Where; w != nil {
+				sql.WalkExprs(w, func(x sql.Expr) bool {
+					switch q := x.(type) {
+					case *sql.InSubquery:
+						rec(q.Select)
+					case *sql.ExistsExpr:
+						rec(q.Select)
+					}
+					return true
+				})
+			}
+		}
+		rec(s)
+	}
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		switch q := x.(type) {
+		case *sql.InSubquery:
+			strip(q.Select)
+		case *sql.ExistsExpr:
+			strip(q.Select)
+		case *sql.ScalarSubquery:
+			strip(q.Select)
+		}
+		return true
+	})
+	return e
+}
+
+// Explore implements the paper's §8.4 flow: iteratively generate rewritten
+// queries (including equal-size "enabler" steps like predicate pull-up and
+// column switches), then pick the best final query by the cost estimator.
+// beam bounds the frontier per level and depth the chain length.
+func (rw *Rewriter) Explore(p plan.Node, beam, depth int) (plan.Node, []Applied) {
+	if beam <= 0 {
+		beam = 8
+	}
+	if depth <= 0 {
+		depth = 5
+	}
+	start := EliminateOrderBy(p)
+	frontier := []exploreState{{plan: start}}
+	seen := map[string]bool{plan.Fingerprint(start): true}
+	best := exploreState{plan: start}
+	bestKey := rw.rank(start)
+	for level := 0; level < depth && len(frontier) > 0; level++ {
+		var next []exploreState
+		for _, st := range frontier {
+			for _, cand := range rw.Candidates(st.plan) {
+				fp := plan.Fingerprint(cand.Plan)
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				path := append(append([]Applied{}, st.path...),
+					Applied{RuleNo: cand.Rule.No, RuleName: cand.Rule.Name})
+				ns := exploreState{plan: cand.Plan, path: path}
+				next = append(next, ns)
+				if k := rw.rank(cand.Plan); k.less(bestKey) {
+					best = ns
+					bestKey = k
+				}
+			}
+		}
+		// Beam: keep the most promising states.
+		sort.SliceStable(next, func(i, j int) bool {
+			return rw.rank(next[i].plan).less(rw.rank(next[j].plan))
+		})
+		if len(next) > beam {
+			next = next[:beam]
+		}
+		frontier = next
+	}
+	return best.plan, best.path
+}
+
+type exploreState struct {
+	plan plan.Node
+	path []Applied
+}
+
+// rankKey orders plans by operator count then estimated cost.
+type rankKey struct {
+	size int
+	cost float64
+}
+
+func (a rankKey) less(b rankKey) bool {
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.cost < b.cost
+}
+
+func (rw *Rewriter) rank(p plan.Node) rankKey {
+	return rankKey{size: plan.Size(p), cost: rw.cost(p)}
+}

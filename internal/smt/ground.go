@@ -1,0 +1,901 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wetune/internal/fol"
+	"wetune/internal/template"
+	"wetune/internal/uexpr"
+)
+
+// grounder decides a ground (quantifier-free after preprocessing) formula by
+// DPLL over its atoms with a theory check combining congruence closure over
+// tuple terms and a conservative natural-number monomial analysis.
+//
+// Soundness contract: a branch is pronounced conflicting only when the
+// assigned literals are genuinely inconsistent; Unsat is reported only when
+// every branch conflicts. Sat/Unknown answers may be imprecise (they reject a
+// rule, which is the conservative direction).
+type grounder struct {
+	solver   *solver
+	atoms    []fol.Formula
+	atomIdx  map[string]int
+	propN    int
+	unknown  bool
+	nodes    int
+	needAtom int
+}
+
+// decide preprocesses away embedded quantifiers and runs DPLL.
+func (g *grounder) decide(f fol.Formula) Result {
+	g.atomIdx = map[string]int{}
+	pool := g.solver.groundTerms([]fol.Formula{f})
+	if len(pool) == 0 {
+		pool = []uexpr.Tuple{g.solver.freshSkolem()}
+	}
+	var defs []fol.Formula
+	f = g.prep(f, pool, &defs, 0)
+	all := fol.MkAnd(append([]fol.Formula{f}, defs...)...)
+	g.collectAtoms(all)
+	if len(g.atoms) > 400 {
+		// Formula too large for the ground solver; give up like a timeout.
+		g.unknown = true
+		return Unknown
+	}
+	assign := make([]int, len(g.atoms)) // 0 unknown, 1 true, -1 false
+	res := g.dpll(all, assign)
+	if res == Unsat && g.unknown {
+		return Unknown
+	}
+	return res
+}
+
+// prep eliminates quantifiers from a positive-context NNF formula:
+// Forall -> finite conjunction of instances (weaker: sound for UNSAT);
+// Exists -> skolem constant (equisatisfiable); ITE conditions containing
+// quantifiers -> fresh propositional atom with sound defining clauses.
+func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, depth int) fol.Formula {
+	if depth > 6 {
+		g.unknown = true
+		return &fol.TrueF{}
+	}
+	switch x := f.(type) {
+	case *fol.TrueF, *fol.FalseF:
+		return x
+	case *fol.And:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, h := range x.Fs {
+			out[i] = g.prep(h, pool, defs, depth)
+		}
+		return fol.MkAnd(out...)
+	case *fol.Or:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, h := range x.Fs {
+			out[i] = g.prep(h, pool, defs, depth)
+		}
+		return fol.MkOr(out...)
+	case *fol.Not:
+		// NNF: negation only wraps atoms; atoms may still carry ITE terms.
+		return &fol.Not{F: g.prep(x.F, pool, defs, depth)}
+	case *fol.Implies:
+		return g.prep(fol.MkOr(&fol.Not{F: x.L}, x.R), pool, defs, depth)
+	case *fol.Forall:
+		combos := 1
+		for range x.Vars {
+			combos *= len(pool)
+		}
+		if combos > 1024 {
+			g.unknown = true
+			return &fol.TrueF{}
+		}
+		var insts []fol.Formula
+		var rec func(i int, body fol.Formula)
+		rec = func(i int, body fol.Formula) {
+			if i == len(x.Vars) {
+				insts = append(insts, g.prep(body, pool, defs, depth+1))
+				return
+			}
+			for _, t := range pool {
+				rec(i+1, substFormulaVar(body, x.Vars[i].ID, t))
+			}
+		}
+		rec(0, x.Body)
+		// Weakening marker: if the pool is non-trivial this is an
+		// approximation of the universal, but conjunction of consequences is
+		// sound for UNSAT.
+		return fol.MkAnd(insts...)
+	case *fol.Exists:
+		body := x.Body
+		for _, v := range x.Vars {
+			body = substFormulaVar(body, v.ID, g.solver.freshSkolem())
+		}
+		return g.prep(body, pool, defs, depth+1)
+	case *fol.IntEq:
+		return &fol.IntEq{L: g.prepTerm(x.L, pool, defs, depth), R: g.prepTerm(x.R, pool, defs, depth)}
+	case *fol.IntGt0:
+		return &fol.IntGt0{T: g.prepTerm(x.T, pool, defs, depth)}
+	case *fol.IntLe1:
+		return &fol.IntLe1{T: g.prepTerm(x.T, pool, defs, depth)}
+	default:
+		return f // tuple/pred/isnull atoms
+	}
+}
+
+// prepTerm rewrites ITE conditions that contain quantifiers into fresh
+// propositional atoms with sound defining clauses (see package comment).
+func (g *grounder) prepTerm(t fol.Term, pool []uexpr.Tuple, defs *[]fol.Formula, depth int) fol.Term {
+	switch x := t.(type) {
+	case *fol.RelApp, *fol.IntConst:
+		return t
+	case *fol.MulT:
+		out := make([]fol.Term, len(x.Fs))
+		for i, h := range x.Fs {
+			out[i] = g.prepTerm(h, pool, defs, depth)
+		}
+		return &fol.MulT{Fs: out}
+	case *fol.AddT:
+		out := make([]fol.Term, len(x.Ts))
+		for i, h := range x.Ts {
+			out[i] = g.prepTerm(h, pool, defs, depth)
+		}
+		return &fol.AddT{Ts: out}
+	case *fol.ITE:
+		cond := x.Cond
+		if hasQuantifier(cond) {
+			p := g.freshProp()
+			// P => C: strengthen C by skolemizing its existentials.
+			cStr := g.prep(cond, pool, defs, depth+1)
+			*defs = append(*defs, fol.MkOr(&fol.Not{F: p}, cStr))
+			// C => P, approximated instance-wise over the pool.
+			for _, inst := range g.existInstances(cond, pool) {
+				instP := g.prep(inst, pool, defs, depth+1)
+				*defs = append(*defs, fol.MkOr(&fol.Not{F: instP}, p))
+			}
+			cond = p
+		} else {
+			cond = g.prep(cond, pool, defs, depth)
+		}
+		return &fol.ITE{
+			Cond: cond,
+			Then: g.prepTerm(x.Then, pool, defs, depth),
+			Else: g.prepTerm(x.Else, pool, defs, depth),
+		}
+	}
+	panic(fmt.Sprintf("smt: prepTerm on %T", t))
+}
+
+// existInstances instantiates the top-level existentials of a condition over
+// the pool (each instance implies the condition).
+func (g *grounder) existInstances(f fol.Formula, pool []uexpr.Tuple) []fol.Formula {
+	switch x := f.(type) {
+	case *fol.Or:
+		var out []fol.Formula
+		for _, h := range x.Fs {
+			out = append(out, g.existInstances(h, pool)...)
+		}
+		return out
+	case *fol.Exists:
+		var out []fol.Formula
+		combos := 1
+		for range x.Vars {
+			combos *= len(pool)
+		}
+		if combos > 512 {
+			return nil
+		}
+		var rec func(i int, body fol.Formula)
+		rec = func(i int, body fol.Formula) {
+			if i == len(x.Vars) {
+				out = append(out, body)
+				return
+			}
+			for _, t := range pool {
+				rec(i+1, substFormulaVar(body, x.Vars[i].ID, t))
+			}
+		}
+		rec(0, x.Body)
+		return out
+	default:
+		return []fol.Formula{f}
+	}
+}
+
+var propSym = template.Sym{Kind: template.KPred, ID: 1 << 22}
+
+func (g *grounder) freshProp() fol.Formula {
+	g.propN++
+	return &fol.PredApp{
+		Pred: template.Sym{Kind: template.KPred, ID: propSym.ID + g.propN},
+		T:    &uexpr.TVar{ID: propSym.ID + g.propN},
+	}
+}
+
+func hasQuantifier(f fol.Formula) bool {
+	found := false
+	var rec func(f fol.Formula)
+	rec = func(f fol.Formula) {
+		switch x := f.(type) {
+		case *fol.Forall, *fol.Exists:
+			found = true
+		case *fol.And:
+			for _, h := range x.Fs {
+				rec(h)
+			}
+		case *fol.Or:
+			for _, h := range x.Fs {
+				rec(h)
+			}
+		case *fol.Not:
+			rec(x.F)
+		case *fol.Implies:
+			rec(x.L)
+			rec(x.R)
+		}
+	}
+	rec(f)
+	return found
+}
+
+// --- atom interning and DPLL ---
+
+func (g *grounder) atomID(f fol.Formula) int {
+	key := f.String()
+	if id, ok := g.atomIdx[key]; ok {
+		return id
+	}
+	id := len(g.atoms)
+	g.atoms = append(g.atoms, f)
+	g.atomIdx[key] = id
+	return id
+}
+
+func (g *grounder) collectAtoms(f fol.Formula) {
+	switch x := f.(type) {
+	case *fol.TrueF, *fol.FalseF:
+	case *fol.And:
+		for _, h := range x.Fs {
+			g.collectAtoms(h)
+		}
+	case *fol.Or:
+		for _, h := range x.Fs {
+			g.collectAtoms(h)
+		}
+	case *fol.Not:
+		g.collectAtoms(x.F)
+	case *fol.Implies:
+		g.collectAtoms(x.L)
+		g.collectAtoms(x.R)
+	default:
+		g.atomID(x)
+		// Conditions inside integer atoms are themselves atoms.
+		walkAtomConds(x, func(c fol.Formula) { g.collectAtoms(c) })
+	}
+}
+
+func walkAtomConds(f fol.Formula, fn func(fol.Formula)) {
+	var recT func(t fol.Term)
+	recT = func(t fol.Term) {
+		switch x := t.(type) {
+		case *fol.ITE:
+			fn(x.Cond)
+			recT(x.Then)
+			recT(x.Else)
+		case *fol.MulT:
+			for _, h := range x.Fs {
+				recT(h)
+			}
+		case *fol.AddT:
+			for _, h := range x.Ts {
+				recT(h)
+			}
+		}
+	}
+	switch x := f.(type) {
+	case *fol.IntEq:
+		recT(x.L)
+		recT(x.R)
+	case *fol.IntGt0:
+		recT(x.T)
+	case *fol.IntLe1:
+		recT(x.T)
+	}
+}
+
+const (
+	evalFalse = -1
+	evalTrue  = 1
+	evalOpen  = 0
+)
+
+// eval evaluates the formula under a partial assignment; openAtom receives an
+// arbitrary undecided atom id when the result is open.
+func (g *grounder) eval(f fol.Formula, assign []int, openAtom *int) int {
+	switch x := f.(type) {
+	case *fol.TrueF:
+		return evalTrue
+	case *fol.FalseF:
+		return evalFalse
+	case *fol.And:
+		res := evalTrue
+		for _, h := range x.Fs {
+			switch g.eval(h, assign, openAtom) {
+			case evalFalse:
+				return evalFalse
+			case evalOpen:
+				res = evalOpen
+			}
+		}
+		return res
+	case *fol.Or:
+		res := evalFalse
+		for _, h := range x.Fs {
+			switch g.eval(h, assign, openAtom) {
+			case evalTrue:
+				return evalTrue
+			case evalOpen:
+				res = evalOpen
+			}
+		}
+		return res
+	case *fol.Not:
+		return -g.eval(x.F, assign, openAtom)
+	case *fol.Implies:
+		return g.eval(fol.MkOr(&fol.Not{F: x.L}, x.R), assign, openAtom)
+	default:
+		id := g.atomID(x)
+		v := assign[id]
+		if v == evalOpen && openAtom != nil && *openAtom < 0 {
+			*openAtom = id
+		}
+		return v
+	}
+}
+
+func (g *grounder) dpll(f fol.Formula, assign []int) Result {
+	g.nodes++
+	g.solver.stats.Nodes++
+	if g.nodes > g.solver.opts.MaxNodes || g.solver.expired() {
+		g.unknown = true
+		return Unknown
+	}
+	open := -1
+	switch g.eval(f, assign, &open) {
+	case evalFalse:
+		return Unsat
+	case evalTrue:
+		g.needAtom = -1
+		if g.theoryConsistent(assign) {
+			if g.needAtom >= 0 && assign[g.needAtom] == evalOpen {
+				// An integer literal could not be evaluated because an ITE
+				// condition atom is unassigned; branch on it for precision.
+				open = g.needAtom
+				break
+			}
+			return Sat
+		}
+		return Unsat
+	}
+	if open < 0 {
+		// Shouldn't happen: open formula without an open atom.
+		g.unknown = true
+		return Unknown
+	}
+	sawUnknown := false
+	eqAtom := false
+	switch g.atoms[open].(type) {
+	case *fol.TupleEq, *fol.PredApp, *fol.IsNull:
+		eqAtom = true
+	}
+	for _, v := range []int{evalTrue, evalFalse} {
+		assign[open] = v
+		// Cheap early conflict detection on equality literals.
+		if eqAtom && g.quickEqConflict(assign) {
+			assign[open] = evalOpen
+			continue
+		}
+		res := g.dpll(f, assign)
+		assign[open] = evalOpen
+		if res == Sat {
+			return Sat
+		}
+		if res == Unknown {
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown
+	}
+	return Unsat
+}
+
+// quickEqConflict runs the congruence-closure check only.
+func (g *grounder) quickEqConflict(assign []int) bool {
+	cc, ok := g.buildCC(assign)
+	_ = cc
+	return !ok
+}
+
+// --- theory: congruence closure over tuples ---
+
+type ccState struct {
+	parent map[string]string
+	terms  map[string]uexpr.Tuple
+}
+
+func (c *ccState) find(k string) string {
+	p, ok := c.parent[k]
+	if !ok || p == k {
+		c.parent[k] = k
+		return k
+	}
+	root := c.find(p)
+	c.parent[k] = root
+	return root
+}
+
+func (c *ccState) union(a, b string) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		if ra < rb {
+			c.parent[rb] = ra
+		} else {
+			c.parent[ra] = rb
+		}
+	}
+}
+
+func (c *ccState) addTerm(t uexpr.Tuple) string {
+	k := tupleKey(t)
+	if _, ok := c.terms[k]; !ok {
+		c.terms[k] = t
+		c.parent[k] = k
+		switch x := t.(type) {
+		case *uexpr.TAttr:
+			c.addTerm(x.T)
+		case *uexpr.TConcat:
+			c.addTerm(x.L)
+			c.addTerm(x.R)
+		}
+	}
+	return k
+}
+
+// buildCC constructs the congruence closure from positive tuple-equality
+// literals and checks negative ones; ok=false signals a conflict.
+func (g *grounder) buildCC(assign []int) (*ccState, bool) {
+	cc := &ccState{parent: map[string]string{}, terms: map[string]uexpr.Tuple{}}
+	// Register all tuple terms appearing in any atom.
+	for _, a := range g.atoms {
+		walkFormulaTuples(a, func(t uexpr.Tuple) { cc.addTerm(t) })
+	}
+	// Union positive equalities.
+	for id, a := range g.atoms {
+		if assign[id] != evalTrue {
+			continue
+		}
+		if eq, ok := a.(*fol.TupleEq); ok {
+			cc.union(cc.addTerm(eq.L), cc.addTerm(eq.R))
+		}
+	}
+	// Congruence: a(t1) ~ a(t2) when t1 ~ t2, grouped by attribute symbol.
+	byAttr := map[template.Sym][]string{}
+	ccKeys := make([]string, 0, len(cc.terms))
+	for k := range cc.terms {
+		ccKeys = append(ccKeys, k)
+	}
+	sort.Strings(ccKeys)
+	for _, k := range ccKeys {
+		if ta, ok := cc.terms[k].(*uexpr.TAttr); ok {
+			byAttr[ta.Attrs] = append(byAttr[ta.Attrs], k)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, group := range byAttr {
+			for i := 0; i < len(group); i++ {
+				ti := cc.terms[group[i]].(*uexpr.TAttr)
+				for j := i + 1; j < len(group); j++ {
+					tj := cc.terms[group[j]].(*uexpr.TAttr)
+					if cc.find(tupleKey(ti.T)) == cc.find(tupleKey(tj.T)) &&
+						cc.find(group[i]) != cc.find(group[j]) {
+						cc.union(group[i], group[j])
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Check negative equalities.
+	for id, a := range g.atoms {
+		if assign[id] != evalFalse {
+			continue
+		}
+		if eq, ok := a.(*fol.TupleEq); ok {
+			if cc.find(tupleKey(eq.L)) == cc.find(tupleKey(eq.R)) {
+				return cc, false
+			}
+		}
+	}
+	// Predicate / IsNull congruence: same class, same symbol => same truth.
+	type predKey struct {
+		sym   template.Sym
+		class string
+	}
+	predVal := map[predKey]int{}
+	for id, a := range g.atoms {
+		if assign[id] == evalOpen {
+			continue
+		}
+		switch x := a.(type) {
+		case *fol.PredApp:
+			k := predKey{sym: x.Pred, class: cc.find(tupleKey(x.T))}
+			if prev, ok := predVal[k]; ok && prev != assign[id] {
+				return cc, false
+			}
+			predVal[k] = assign[id]
+		case *fol.IsNull:
+			k := predKey{sym: template.Sym{Kind: template.KPred, ID: -1}, class: cc.find(tupleKey(x.T))}
+			if prev, ok := predVal[k]; ok && prev != assign[id] {
+				return cc, false
+			}
+			predVal[k] = assign[id]
+		}
+	}
+	return cc, true
+}
+
+// --- theory: integer monomial analysis ---
+
+// poly is a canonical polynomial: a multiset of monomials; each monomial a
+// sorted list of variable keys. nil monomial list = the constant 0.
+type poly struct {
+	monos [][]string
+}
+
+func (g *grounder) theoryConsistent(assign []int) bool {
+	cc, ok := g.buildCC(assign)
+	if !ok {
+		return false
+	}
+	// Gather assigned integer literals.
+	var lits []intLit
+	for id, a := range g.atoms {
+		if assign[id] == evalOpen {
+			continue
+		}
+		switch a.(type) {
+		case *fol.IntEq, *fol.IntGt0, *fol.IntLe1:
+			lits = append(lits, intLit{atom: a, val: assign[id]})
+		}
+	}
+	if len(lits) == 0 {
+		return true
+	}
+	// Evaluate polynomials; unresolved ITE conditions make the literal
+	// unusable (skipping it is conservative).
+	var evs []evaledLit
+	varSet := map[string]bool{}
+	for _, lit := range lits {
+		var l, r *poly
+		ok := true
+		switch x := lit.atom.(type) {
+		case *fol.IntEq:
+			l = g.evalPoly(x.L, assign, cc, &ok)
+			r = g.evalPoly(x.R, assign, cc, &ok)
+		case *fol.IntGt0:
+			l = g.evalPoly(x.T, assign, cc, &ok)
+		case *fol.IntLe1:
+			l = g.evalPoly(x.T, assign, cc, &ok)
+		}
+		if !ok {
+			continue
+		}
+		evs = append(evs, evaledLit{lit: lit, l: l, r: r})
+		for _, p := range []*poly{l, r} {
+			if p == nil {
+				continue
+			}
+			for _, m := range p.monos {
+				for _, v := range m {
+					varSet[v] = true
+				}
+			}
+		}
+	}
+	vars := make([]string, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	if len(vars) > 14 {
+		g.unknown = true
+		return true // too many variables to case-split; assume consistent
+	}
+	// Caps: variables whose poly is literally that single variable and that
+	// carry a positive IntLe1.
+	capped := map[string]bool{}
+	for _, ev := range evs {
+		if _, isLe := ev.lit.atom.(*fol.IntLe1); isLe && ev.lit.val == evalTrue {
+			if len(ev.l.monos) == 1 && len(ev.l.monos[0]) == 1 {
+				capped[ev.l.monos[0][0]] = true
+			}
+		}
+	}
+	// Enumerate zero / positive assignments.
+	n := len(vars)
+	for mask := 0; mask < (1 << n); mask++ {
+		positive := map[string]bool{}
+		for i, v := range vars {
+			if mask&(1<<i) != 0 {
+				positive[v] = true
+			}
+		}
+		if g.intAssignConsistent(evs, positive, capped) {
+			return true
+		}
+	}
+	return false
+}
+
+// countPos counts monomials whose variables are all positive.
+func countPos(p *poly, positive map[string]bool) int {
+	count := 0
+	for _, m := range p.monos {
+		all := true
+		for _, v := range m {
+			if !positive[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			count++
+		}
+	}
+	return count
+}
+
+// monoAllCapped reports whether every positive monomial consists solely of
+// capped (<=1) variables, bounding the polynomial by the monomial count.
+func polyCappedBy(p *poly, positive, capped map[string]bool) (int, bool) {
+	count := 0
+	for _, m := range p.monos {
+		all := true
+		for _, v := range m {
+			if !positive[v] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		count++
+		for _, v := range m {
+			if !capped[v] {
+				return count, false
+			}
+		}
+	}
+	return count, true
+}
+
+func monoKey(m []string) string {
+	if len(m) == 0 {
+		return "1" // the constant-1 monomial must not collide with "no monomials"
+	}
+	return strings.Join(m, "*")
+}
+
+func polyKey(p *poly) string {
+	strs := make([]string, len(p.monos))
+	for i, m := range p.monos {
+		strs[i] = monoKey(m)
+	}
+	sort.Strings(strs)
+	if len(strs) == 0 {
+		return "0"
+	}
+	return strings.Join(strs, "+")
+}
+
+// positivePolyKey canonicalizes a polynomial restricted to its positive
+// monomials under the current variable assignment.
+func positivePolyKey(p *poly, positive map[string]bool) string {
+	var strs []string
+	for _, m := range p.monos {
+		all := true
+		for _, v := range m {
+			if !positive[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			strs = append(strs, monoKey(m))
+		}
+	}
+	sort.Strings(strs)
+	if len(strs) == 0 {
+		return "0"
+	}
+	return strings.Join(strs, "+")
+}
+
+// intLit is an assigned integer atom.
+type intLit struct {
+	atom fol.Formula
+	val  int
+}
+
+// evaledLit pairs an integer literal with its evaluated polynomial sides
+// (r is nil for Gt0/Le1).
+type evaledLit struct {
+	lit  intLit
+	l, r *poly
+}
+
+// intAssignConsistent checks all evaluated integer literals under one
+// zero/positive variable assignment. Conflicts reported here are genuine
+// (they hold for every concrete valuation compatible with the assignment).
+func (g *grounder) intAssignConsistent(evs []evaledLit, positive, capped map[string]bool) bool {
+	for _, ev := range evs {
+		switch ev.lit.atom.(type) {
+		case *fol.IntGt0:
+			count := countPos(ev.l, positive)
+			if ev.lit.val == evalTrue && count == 0 {
+				return false
+			}
+			if ev.lit.val == evalFalse && count > 0 {
+				return false // every positive monomial is >= 1
+			}
+		case *fol.IntLe1:
+			count, allCapped := polyCappedBy(ev.l, positive, capped)
+			if ev.lit.val == evalTrue && count >= 2 {
+				return false
+			}
+			if ev.lit.val == evalFalse {
+				if count == 0 {
+					return false
+				}
+				if count == 1 && allCapped {
+					return false // bounded by 1, cannot be >= 2
+				}
+			}
+		case *fol.IntEq:
+			lc := countPos(ev.l, positive)
+			rc := countPos(ev.r, positive)
+			lk := positivePolyKey(ev.l, positive)
+			rk := positivePolyKey(ev.r, positive)
+			if ev.lit.val == evalTrue {
+				if (lc == 0) != (rc == 0) {
+					return false
+				}
+				// Identical positive parts are always equal; different
+				// positive parts may still be equal for some valuation, so
+				// no conflict is derived there.
+			} else {
+				if lc == 0 && rc == 0 {
+					return false // 0 != 0 is false
+				}
+				if lk == rk {
+					return false // identical polynomials are always equal
+				}
+				// Distinct non-zero polynomials can differ unless both are
+				// capped singletons forced to the same value; conservatively
+				// allow.
+			}
+		}
+	}
+	return true
+}
+
+// evalPoly evaluates an integer term to a canonical polynomial; *ok is set
+// false when an ITE condition atom is unassigned.
+func (g *grounder) evalPoly(t fol.Term, assign []int, cc *ccState, ok *bool) *poly {
+	switch x := t.(type) {
+	case *fol.IntConst:
+		p := &poly{}
+		for i := 0; i < x.N; i++ {
+			p.monos = append(p.monos, []string{})
+		}
+		return p
+	case *fol.RelApp:
+		v := x.Rel.String() + "@" + cc.find(cc.addTerm(x.T))
+		return &poly{monos: [][]string{{v}}}
+	case *fol.ITE:
+		cv := g.evalCond(x.Cond, assign, cc, ok)
+		if !*ok {
+			return &poly{}
+		}
+		if cv {
+			return g.evalPoly(x.Then, assign, cc, ok)
+		}
+		return g.evalPoly(x.Else, assign, cc, ok)
+	case *fol.MulT:
+		acc := &poly{monos: [][]string{{}}}
+		for _, f := range x.Fs {
+			fp := g.evalPoly(f, assign, cc, ok)
+			if !*ok {
+				return &poly{}
+			}
+			acc = mulPoly(acc, fp)
+		}
+		return acc
+	case *fol.AddT:
+		acc := &poly{}
+		for _, f := range x.Ts {
+			fp := g.evalPoly(f, assign, cc, ok)
+			if !*ok {
+				return &poly{}
+			}
+			acc.monos = append(acc.monos, fp.monos...)
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("smt: evalPoly on %T", t))
+}
+
+func mulPoly(a, b *poly) *poly {
+	out := &poly{}
+	for _, ma := range a.monos {
+		for _, mb := range b.monos {
+			m := append(append([]string{}, ma...), mb...)
+			sort.Strings(m)
+			out.monos = append(out.monos, m)
+		}
+	}
+	return out
+}
+
+// evalCond evaluates an atom-level condition under the assignment.
+func (g *grounder) evalCond(f fol.Formula, assign []int, cc *ccState, ok *bool) bool {
+	switch x := f.(type) {
+	case *fol.TrueF:
+		return true
+	case *fol.FalseF:
+		return false
+	case *fol.And:
+		for _, h := range x.Fs {
+			if !g.evalCond(h, assign, cc, ok) {
+				return false
+			}
+		}
+		return true
+	case *fol.Or:
+		for _, h := range x.Fs {
+			if g.evalCond(h, assign, cc, ok) {
+				return true
+			}
+		}
+		return false
+	case *fol.Not:
+		return !g.evalCond(x.F, assign, cc, ok)
+	case *fol.TupleEq:
+		// Equalities decided by CC when derivable, else by the atom value.
+		if cc.find(cc.addTerm(x.L)) == cc.find(cc.addTerm(x.R)) {
+			return true
+		}
+		id, known := g.atomIdx[f.String()]
+		if known && assign[id] != evalOpen {
+			return assign[id] == evalTrue
+		}
+		if known && g.needAtom < 0 {
+			g.needAtom = id
+		}
+		*ok = false
+		return false
+	default:
+		id, known := g.atomIdx[f.String()]
+		if known && assign[id] != evalOpen {
+			return assign[id] == evalTrue
+		}
+		if known && g.needAtom < 0 {
+			g.needAtom = id
+		}
+		*ok = false
+		return false
+	}
+}

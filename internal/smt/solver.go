@@ -1,0 +1,516 @@
+// Package smt implements the small SMT solver backing WeTune's built-in
+// verifier (§5.1.2). It substitutes for Z3 (no mature Go bindings exist; the
+// module is offline) and is specialized to the fragment produced by the
+// Table 4/5 translations:
+//
+//   - tuple-sorted uninterpreted functions (attribute lists) decided by
+//     congruence closure;
+//   - uninterpreted predicates and IsNull;
+//   - natural-number relation multiplicities compared against 0/1, decided by
+//     a conservative monomial analysis;
+//   - universal quantifiers handled by bounded ground instantiation, which is
+//     sound for UNSAT (instances are logical consequences, so if a finite set
+//     of instances is inconsistent the original formula is too).
+//
+// Exactly like the paper's use of Z3: UNSAT of the negated goal certifies the
+// rule; SAT or Unknown rejects it (conservative).
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wetune/internal/fol"
+	"wetune/internal/uexpr"
+)
+
+// Result is the solver verdict.
+type Result int
+
+// Solver verdicts.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Unknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps DPLL branch nodes; exceeded -> Unknown (a "timeout").
+	MaxNodes int
+	// InstRounds caps quantifier-instantiation rounds.
+	InstRounds int
+	// MaxTermDepth caps generated ground tuple terms.
+	MaxTermDepth int
+	// Deadline is a wall-clock cap; exceeded -> Unknown. Mirrors the paper's
+	// per-call Z3 timeout (about 50ms per potential rule on their hardware).
+	Deadline time.Duration
+}
+
+// DefaultOptions mirror the paper's per-rule verification budget.
+func DefaultOptions() Options {
+	return Options{MaxNodes: 200000, InstRounds: 2, MaxTermDepth: 3, Deadline: 2 * time.Second}
+}
+
+// Stats reports solver effort.
+type Stats struct {
+	Nodes     int
+	Instances int
+	Atoms     int
+}
+
+// Solve decides satisfiability of a closed formula.
+func Solve(f fol.Formula, opts Options) (Result, Stats) {
+	s := &solver{opts: opts, skolemBase: 1 << 24, start: time.Now()}
+	return s.solve(f)
+}
+
+// ProveValid reports whether hypotheses => goal is valid, by checking
+// hypotheses AND NOT goal for unsatisfiability.
+func ProveValid(hypotheses, goal fol.Formula, opts Options) (bool, Stats) {
+	res, st := Solve(fol.MkAnd(hypotheses, &fol.Not{F: goal}), opts)
+	return res == Unsat, st
+}
+
+type solver struct {
+	opts       Options
+	skolemBase int
+	stats      Stats
+	start      time.Time
+}
+
+func (s *solver) expired() bool {
+	return s.opts.Deadline > 0 && time.Since(s.start) > s.opts.Deadline
+}
+
+func (s *solver) freshSkolem() *uexpr.TVar {
+	v := &uexpr.TVar{ID: s.skolemBase}
+	s.skolemBase++
+	return v
+}
+
+// nnf pushes negations to atoms. polarity=false means the formula is negated.
+func (s *solver) nnf(f fol.Formula, positive bool) fol.Formula {
+	switch x := f.(type) {
+	case *fol.TrueF:
+		if positive {
+			return x
+		}
+		return &fol.FalseF{}
+	case *fol.FalseF:
+		if positive {
+			return x
+		}
+		return &fol.TrueF{}
+	case *fol.Not:
+		return s.nnf(x.F, !positive)
+	case *fol.And:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = s.nnf(g, positive)
+		}
+		if positive {
+			return fol.MkAnd(out...)
+		}
+		return fol.MkOr(out...)
+	case *fol.Or:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = s.nnf(g, positive)
+		}
+		if positive {
+			return fol.MkOr(out...)
+		}
+		return fol.MkAnd(out...)
+	case *fol.Implies:
+		if positive {
+			return fol.MkOr(s.nnf(x.L, false), s.nnf(x.R, true))
+		}
+		return fol.MkAnd(s.nnf(x.L, true), s.nnf(x.R, false))
+	case *fol.Forall:
+		body := s.nnf(x.Body, positive)
+		if positive {
+			return &fol.Forall{Vars: x.Vars, Body: body}
+		}
+		return &fol.Exists{Vars: x.Vars, Body: body}
+	case *fol.Exists:
+		body := s.nnf(x.Body, positive)
+		if positive {
+			return &fol.Exists{Vars: x.Vars, Body: body}
+		}
+		return &fol.Forall{Vars: x.Vars, Body: body}
+	default:
+		// Atom (possibly containing ITE conditions, handled at ground level).
+		if positive {
+			return f
+		}
+		return &fol.Not{F: f}
+	}
+}
+
+// skolemize replaces existential variables with fresh constants. Because the
+// input is NNF and we instantiate universals with ground terms before
+// re-skolemizing, plain constants per quantifier instance suffice.
+func (s *solver) skolemize(f fol.Formula) fol.Formula {
+	switch x := f.(type) {
+	case *fol.Exists:
+		body := x.Body
+		for _, v := range x.Vars {
+			body = substFormulaVar(body, v.ID, s.freshSkolem())
+		}
+		return s.skolemize(body)
+	case *fol.And:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = s.skolemize(g)
+		}
+		return fol.MkAnd(out...)
+	case *fol.Or:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = s.skolemize(g)
+		}
+		return fol.MkOr(out...)
+	case *fol.Forall:
+		// Keep; instantiated later. (Inner existentials are skolemized per
+		// instance.)
+		return x
+	default:
+		return f
+	}
+}
+
+func (s *solver) solve(f fol.Formula) (Result, Stats) {
+	nf := s.skolemize(s.nnf(f, true))
+
+	// Instantiation loop: split into ground part and universal templates;
+	// instantiate universals over the ground tuple universe.
+	ground := []fol.Formula{}
+	var universals []*fol.Forall
+	var split func(g fol.Formula)
+	split = func(g fol.Formula) {
+		switch x := g.(type) {
+		case *fol.And:
+			for _, h := range x.Fs {
+				split(h)
+			}
+		case *fol.Forall:
+			universals = append(universals, x)
+		default:
+			ground = append(ground, x)
+		}
+	}
+	split(nf)
+
+	seenInst := map[string]bool{}
+	for round := 0; round < s.opts.InstRounds; round++ {
+		pool := s.groundTerms(ground)
+		if len(pool) == 0 {
+			pool = []uexpr.Tuple{s.freshSkolem()}
+		}
+		added := false
+		for _, u := range universals {
+			insts := s.instantiate(u, pool)
+			for _, inst := range insts {
+				key := formulaKey(inst)
+				if seenInst[key] {
+					continue
+				}
+				seenInst[key] = true
+				// The instance may contain nested foralls (e.g. Unique's
+				// second conjunct after partial instantiation) — resplit.
+				inst = s.skolemize(inst)
+				var resplit func(g fol.Formula)
+				resplit = func(g fol.Formula) {
+					switch x := g.(type) {
+					case *fol.And:
+						for _, h := range x.Fs {
+							resplit(h)
+						}
+					case *fol.Forall:
+						universals = append(universals, x)
+					default:
+						ground = append(ground, x)
+					}
+				}
+				resplit(inst)
+				s.stats.Instances++
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+
+	// Decide the ground conjunction.
+	g := &grounder{solver: s}
+	res := g.decide(fol.MkAnd(ground...))
+	s.stats.Atoms = len(g.atoms)
+	return res, s.stats
+}
+
+// groundTerms collects ground tuple terms (bounded depth) from formulas.
+func (s *solver) groundTerms(fs []fol.Formula) []uexpr.Tuple {
+	set := map[string]uexpr.Tuple{}
+	var addT func(t uexpr.Tuple)
+	addT = func(t uexpr.Tuple) {
+		if tupleDepth(t) <= s.opts.MaxTermDepth {
+			set[tupleKey(t)] = t
+		}
+		switch x := t.(type) {
+		case *uexpr.TAttr:
+			addT(x.T)
+		case *uexpr.TConcat:
+			addT(x.L)
+			addT(x.R)
+		}
+	}
+	for _, f := range fs {
+		walkFormulaTuples(f, addT)
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]uexpr.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+// instantiate produces all ground instances of a universal formula over the
+// pool (bounded combinations).
+func (s *solver) instantiate(u *fol.Forall, pool []uexpr.Tuple) []fol.Formula {
+	var out []fol.Formula
+	var rec func(i int, body fol.Formula)
+	rec = func(i int, body fol.Formula) {
+		if i == len(u.Vars) {
+			out = append(out, body)
+			return
+		}
+		for _, g := range pool {
+			rec(i+1, substFormulaVar(body, u.Vars[i].ID, g))
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	// Cap combinatorial blowup.
+	combos := 1
+	for range u.Vars {
+		combos *= len(pool)
+	}
+	if combos > 4096 {
+		return nil
+	}
+	rec(0, u.Body)
+	return out
+}
+
+func tupleDepth(t uexpr.Tuple) int {
+	switch x := t.(type) {
+	case *uexpr.TVar:
+		return 0
+	case *uexpr.TAttr:
+		return 1 + tupleDepth(x.T)
+	case *uexpr.TConcat:
+		l, r := tupleDepth(x.L), tupleDepth(x.R)
+		if l > r {
+			return 1 + l
+		}
+		return 1 + r
+	}
+	return 0
+}
+
+func tupleKey(t uexpr.Tuple) string {
+	switch x := t.(type) {
+	case *uexpr.TVar:
+		return fmt.Sprintf("t%d", x.ID)
+	case *uexpr.TAttr:
+		return fmt.Sprintf("%s(%s)", x.Attrs, tupleKey(x.T))
+	case *uexpr.TConcat:
+		return fmt.Sprintf("(%s.%s)", tupleKey(x.L), tupleKey(x.R))
+	}
+	return "?"
+}
+
+func formulaKey(f fol.Formula) string { return f.String() }
+
+// substFormulaVar substitutes a tuple variable with a ground term everywhere
+// in the formula, including inside integer terms and ITE conditions.
+func substFormulaVar(f fol.Formula, id int, repl uexpr.Tuple) fol.Formula {
+	st := func(t uexpr.Tuple) uexpr.Tuple { return substTupleVar(t, id, repl) }
+	switch x := f.(type) {
+	case *fol.TrueF, *fol.FalseF:
+		return x
+	case *fol.TupleEq:
+		return &fol.TupleEq{L: st(x.L), R: st(x.R)}
+	case *fol.PredApp:
+		return &fol.PredApp{Pred: x.Pred, T: st(x.T)}
+	case *fol.IsNull:
+		return &fol.IsNull{T: st(x.T)}
+	case *fol.IntEq:
+		return &fol.IntEq{L: substTermVar(x.L, id, repl), R: substTermVar(x.R, id, repl)}
+	case *fol.IntGt0:
+		return &fol.IntGt0{T: substTermVar(x.T, id, repl)}
+	case *fol.IntLe1:
+		return &fol.IntLe1{T: substTermVar(x.T, id, repl)}
+	case *fol.Not:
+		return &fol.Not{F: substFormulaVar(x.F, id, repl)}
+	case *fol.And:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = substFormulaVar(g, id, repl)
+		}
+		return &fol.And{Fs: out}
+	case *fol.Or:
+		out := make([]fol.Formula, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = substFormulaVar(g, id, repl)
+		}
+		return &fol.Or{Fs: out}
+	case *fol.Implies:
+		return &fol.Implies{L: substFormulaVar(x.L, id, repl), R: substFormulaVar(x.R, id, repl)}
+	case *fol.Forall:
+		for _, v := range x.Vars {
+			if v.ID == id {
+				return x
+			}
+		}
+		return &fol.Forall{Vars: x.Vars, Body: substFormulaVar(x.Body, id, repl)}
+	case *fol.Exists:
+		for _, v := range x.Vars {
+			if v.ID == id {
+				return x
+			}
+		}
+		return &fol.Exists{Vars: x.Vars, Body: substFormulaVar(x.Body, id, repl)}
+	}
+	panic(fmt.Sprintf("smt: substFormulaVar on %T", f))
+}
+
+func substTermVar(t fol.Term, id int, repl uexpr.Tuple) fol.Term {
+	switch x := t.(type) {
+	case *fol.RelApp:
+		return &fol.RelApp{Rel: x.Rel, T: substTupleVar(x.T, id, repl)}
+	case *fol.IntConst:
+		return x
+	case *fol.ITE:
+		return &fol.ITE{
+			Cond: substFormulaVar(x.Cond, id, repl),
+			Then: substTermVar(x.Then, id, repl),
+			Else: substTermVar(x.Else, id, repl),
+		}
+	case *fol.MulT:
+		out := make([]fol.Term, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = substTermVar(g, id, repl)
+		}
+		return &fol.MulT{Fs: out}
+	case *fol.AddT:
+		out := make([]fol.Term, len(x.Ts))
+		for i, g := range x.Ts {
+			out[i] = substTermVar(g, id, repl)
+		}
+		return &fol.AddT{Ts: out}
+	}
+	panic(fmt.Sprintf("smt: substTermVar on %T", t))
+}
+
+func substTupleVar(t uexpr.Tuple, id int, repl uexpr.Tuple) uexpr.Tuple {
+	switch x := t.(type) {
+	case *uexpr.TVar:
+		if x.ID == id {
+			return repl
+		}
+		return x
+	case *uexpr.TAttr:
+		return &uexpr.TAttr{Attrs: x.Attrs, T: substTupleVar(x.T, id, repl)}
+	case *uexpr.TConcat:
+		return &uexpr.TConcat{L: substTupleVar(x.L, id, repl), R: substTupleVar(x.R, id, repl)}
+	}
+	panic("unreachable")
+}
+
+// walkFormulaTuples visits every tuple term in the quantifier-free parts of a
+// formula (skipping quantified subformulas, whose variables are not ground).
+func walkFormulaTuples(f fol.Formula, fn func(uexpr.Tuple)) {
+	switch x := f.(type) {
+	case *fol.TrueF, *fol.FalseF:
+	case *fol.TupleEq:
+		fn(x.L)
+		fn(x.R)
+	case *fol.PredApp:
+		fn(x.T)
+	case *fol.IsNull:
+		fn(x.T)
+	case *fol.IntEq:
+		walkTermTuples(x.L, fn)
+		walkTermTuples(x.R, fn)
+	case *fol.IntGt0:
+		walkTermTuples(x.T, fn)
+	case *fol.IntLe1:
+		walkTermTuples(x.T, fn)
+	case *fol.Not:
+		walkFormulaTuples(x.F, fn)
+	case *fol.And:
+		for _, g := range x.Fs {
+			walkFormulaTuples(g, fn)
+		}
+	case *fol.Or:
+		for _, g := range x.Fs {
+			walkFormulaTuples(g, fn)
+		}
+	case *fol.Implies:
+		walkFormulaTuples(x.L, fn)
+		walkFormulaTuples(x.R, fn)
+	case *fol.Forall, *fol.Exists:
+		// Skip: not ground.
+	}
+}
+
+func walkTermTuples(t fol.Term, fn func(uexpr.Tuple)) {
+	switch x := t.(type) {
+	case *fol.RelApp:
+		fn(x.T)
+	case *fol.IntConst:
+	case *fol.ITE:
+		walkFormulaTuples(x.Cond, fn)
+		walkTermTuples(x.Then, fn)
+		walkTermTuples(x.Else, fn)
+	case *fol.MulT:
+		for _, g := range x.Fs {
+			walkTermTuples(g, fn)
+		}
+	case *fol.AddT:
+		for _, g := range x.Ts {
+			walkTermTuples(g, fn)
+		}
+	}
+}
+
+// isGroundTuple reports whether the term contains no quantified variables;
+// after skolemization every TVar is a constant, so this is always true. Kept
+// for clarity at call sites.
+func isGroundTuple(t uexpr.Tuple) bool { return true }
+
+var _ = strings.Contains // reserved for diagnostics
+var _ = isGroundTuple

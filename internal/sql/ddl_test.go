@@ -1,0 +1,76 @@
+package sql
+
+import "testing"
+
+func TestParseDDL(t *testing.T) {
+	schema, err := ParseDDL(`
+		CREATE TABLE users (
+			id INT NOT NULL PRIMARY KEY,
+			email VARCHAR(255) NOT NULL UNIQUE,
+			bio TEXT,
+			score DECIMAL(10, 2),
+			active BOOLEAN
+		);
+		CREATE TABLE posts (
+			id BIGINT NOT NULL,
+			user_id INT NOT NULL,
+			title VARCHAR(100),
+			PRIMARY KEY (id),
+			FOREIGN KEY (user_id) REFERENCES users (id)
+		);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, ok := schema.Table("users")
+	if !ok {
+		t.Fatal("users missing")
+	}
+	if len(users.Columns) != 5 {
+		t.Fatalf("users columns = %d", len(users.Columns))
+	}
+	if users.PrimaryKey[0] != "id" {
+		t.Fatalf("pk = %v", users.PrimaryKey)
+	}
+	if !users.IsUnique([]string{"email"}) {
+		t.Fatal("inline UNIQUE lost")
+	}
+	if c, _ := users.Column("email"); !c.NotNull || c.Type != TString {
+		t.Fatalf("email column wrong: %+v", c)
+	}
+	if c, _ := users.Column("score"); c.Type != TFloat {
+		t.Fatalf("score type = %v", c.Type)
+	}
+	if c, _ := users.Column("active"); c.Type != TBool {
+		t.Fatalf("active type = %v", c.Type)
+	}
+	posts, _ := schema.Table("posts")
+	if len(posts.ForeignKeys) != 1 || posts.ForeignKeys[0].RefTable != "users" {
+		t.Fatalf("fk = %+v", posts.ForeignKeys)
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	bad := []string{
+		"CREATE users (id INT)",
+		"CREATE TABLE t (id)",
+		"CREATE TABLE t (id INT,)",
+		"CREATE TABLE t (id INT, FOREIGN KEY (id) REFERENCES missing (x))",
+		"CREATE TABLE t (PRIMARY KEY (nope))",
+	}
+	for _, src := range bad {
+		if _, err := ParseDDL(src); err == nil {
+			t.Errorf("ParseDDL(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseDDLIfNotExists(t *testing.T) {
+	s, err := ParseDDL("CREATE TABLE IF NOT EXISTS t (id INT NOT NULL PRIMARY KEY)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Table("t"); !ok {
+		t.Fatal("table missing")
+	}
+}

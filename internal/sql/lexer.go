@@ -1,0 +1,201 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // punctuation and operators
+	tkParam  // ?
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "EXISTS": true, "IS": true, "NULL": true,
+	"DISTINCT": true, "AS": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "OUTER": true, "CROSS": true, "ON": true, "GROUP": true,
+	"BY": true, "HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "UNION": true, "ALL": true, "TRUE": true, "FALSE": true,
+	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tkEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '`':
+			if err := l.lexQuotedIdent(c); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tkParam, "?")
+			l.pos++
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tkKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tkIdent, text: word, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexQuotedIdent(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkIdent, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+var twoCharSymbols = map[string]bool{"<>": true, "!=": true, "<=": true, ">=": true}
+
+func (l *lexer) lexSymbol() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.emit(tkSymbol, two)
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+		l.emit(tkSymbol, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+}

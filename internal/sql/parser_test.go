@@ -1,0 +1,237 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	s, err := Parse("SELECT id, name FROM users WHERE age > 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(s.Items))
+	}
+	tn, ok := s.From.(*TableName)
+	if !ok || tn.Name != "users" {
+		t.Fatalf("from = %#v, want users", s.From)
+	}
+	cmp, ok := s.Where.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("where = %#v, want > comparison", s.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := MustParse("SELECT * FROM t")
+	if !s.Items[0].Star || s.Items[0].StarTable != "" {
+		t.Fatalf("expected bare star, got %#v", s.Items[0])
+	}
+	s = MustParse("SELECT t.* FROM t")
+	if !s.Items[0].Star || s.Items[0].StarTable != "t" {
+		t.Fatalf("expected t.*, got %#v", s.Items[0])
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind JoinKind
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.y", InnerJoin},
+		{"SELECT * FROM a INNER JOIN b ON a.x = b.y", InnerJoin},
+		{"SELECT * FROM a LEFT JOIN b ON a.x = b.y", LeftJoin},
+		{"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y", LeftJoin},
+		{"SELECT * FROM a RIGHT JOIN b ON a.x = b.y", RightJoin},
+		{"SELECT * FROM a CROSS JOIN b", CrossJoin},
+		{"SELECT * FROM a, b", CrossJoin},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		j, ok := s.From.(*JoinExpr)
+		if !ok {
+			t.Fatalf("%s: from is %T", c.src, s.From)
+		}
+		if j.Kind != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.src, j.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	s := MustParse("SELECT id FROM notes WHERE type = 'D' AND id IN (SELECT id FROM notes WHERE commit_id = 7)")
+	conj := SplitConjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d, want 2", len(conj))
+	}
+	in, ok := conj[1].(*InSubquery)
+	if !ok {
+		t.Fatalf("second conjunct is %T, want InSubquery", conj[1])
+	}
+	if in.Negated {
+		t.Error("unexpected NOT IN")
+	}
+	if in.Select.Where == nil {
+		t.Error("subquery WHERE missing")
+	}
+}
+
+func TestParseNestedSubqueryWithOrderBy(t *testing.T) {
+	// Table 1 q0 from the paper.
+	src := `SELECT * FROM labels WHERE id IN (
+	          SELECT id FROM labels WHERE id IN (
+	            SELECT id FROM labels WHERE project_id = 10
+	          ) ORDER BY title ASC)`
+	s := MustParse(src)
+	in := s.Where.(*InSubquery)
+	if len(in.Select.OrderBy) != 1 {
+		t.Fatalf("inner ORDER BY items = %d, want 1", len(in.Select.OrderBy))
+	}
+	inner := in.Select.Where.(*InSubquery)
+	if inner.Select.Where == nil {
+		t.Fatal("innermost WHERE missing")
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	s := MustParse("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 3 ORDER BY n DESC LIMIT 10")
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatalf("group by/having not parsed: %#v", s)
+	}
+	if s.Limit == nil || *s.Limit != 10 {
+		t.Fatalf("limit = %v, want 10", s.Limit)
+	}
+	if !s.OrderBy[0].Desc {
+		t.Error("order by should be DESC")
+	}
+	f := s.Items[1].Expr.(*FuncCall)
+	if f.Name != "COUNT" || !f.Star {
+		t.Fatalf("aggregate item = %#v", f)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	s := MustParse("SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a")
+	if s.SetOp != "UNION ALL" {
+		t.Fatalf("setop = %q", s.SetOp)
+	}
+	if len(s.OrderBy) != 1 {
+		t.Fatalf("order by on compound missing")
+	}
+}
+
+func TestParseExistsAndNot(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.x = t.x)")
+	u, ok := s.Where.(*UnaryExpr)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("where = %#v", s.Where)
+	}
+	if _, ok := u.E.(*ExistsExpr); !ok {
+		t.Fatalf("inner = %T, want ExistsExpr", u.E)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %#v, want OR", s.Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right of OR = %#v, want AND", or.R)
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+	and := s.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("between should desugar to AND, got %s", and.Op)
+	}
+}
+
+func TestParseParamsNumbered(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE a = ? AND b = ?")
+	conj := SplitConjuncts(s.Where)
+	p0 := conj[0].(*BinaryExpr).R.(*Param)
+	p1 := conj[1].(*BinaryExpr).R.(*Param)
+	if p0.Index != 0 || p1.Index != 1 {
+		t.Fatalf("param indexes = %d, %d", p0.Index, p1.Index)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a IN (",
+		"SELECT * FROM t extra garbage ,",
+		"SELECT * FROM t WHERE a = 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM labels WHERE project_id = 10",
+		"SELECT id, title AS t FROM labels WHERE id IN (SELECT id FROM labels WHERE project_id = 10)",
+		"SELECT n.* FROM notes AS n WHERE n.type = 'D' AND n.id IN (SELECT m.id FROM notes AS m WHERE m.commit_id = 7)",
+		"SELECT T.* FROM T LEFT JOIN S ON T.k = S.k2",
+		"SELECT DISTINCT x.k FROM R AS x WHERE x.a > 12",
+		"SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+		"SELECT a FROM t UNION SELECT b FROM u",
+		"SELECT * FROM t WHERE a IS NOT NULL AND b IN (1, 2, 3)",
+		"SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
+		"SELECT * FROM (SELECT x FROM u WHERE x > 0) AS d WHERE d.x < 10",
+		"SELECT * FROM t ORDER BY a ASC, b DESC LIMIT 5",
+		"SELECT COUNT(DISTINCT a) FROM t",
+		"SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END AS sign FROM t",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		out1 := Format(s1)
+		s2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", out1, q, err)
+		}
+		out2 := Format(s2)
+		if out1 != out2 {
+			t.Errorf("round trip unstable:\n  first:  %s\n  second: %s", out1, out2)
+		}
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	out := Format(s)
+	if !strings.Contains(out, "(") {
+		t.Errorf("lost parentheses: %s", out)
+	}
+	s2 := MustParse(out)
+	and := s2.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("reparse changed precedence: %s", out)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	s := MustParse("SELECT a -- trailing comment\nFROM t")
+	if len(s.Items) != 1 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+}

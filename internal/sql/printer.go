@@ -1,0 +1,267 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a statement back to SQL text. The output reparses to an
+// equivalent AST (round-trip property, tested).
+func Format(s *SelectStmt) string {
+	var b strings.Builder
+	formatSelect(&b, s)
+	return b.String()
+}
+
+// FormatExpr renders one expression.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e, 0)
+	return b.String()
+}
+
+func formatSelect(b *strings.Builder, s *SelectStmt) {
+	if s.SetOp != "" {
+		formatSelect(b, s.SetLeft)
+		b.WriteString(" " + s.SetOp + " ")
+		formatSelect(b, s.SetRight)
+		formatOrderLimit(b, s)
+		return
+	}
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			b.WriteString(it.StarTable + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			formatExpr(b, it.Expr, 0)
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		formatTableExpr(b, s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, s.Where, 0)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, g, 0)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, s.Having, 0)
+	}
+	formatOrderLimit(b, s)
+}
+
+func formatOrderLimit(b *strings.Builder, s *SelectStmt) {
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.Expr, 0)
+			if o.Desc {
+				b.WriteString(" DESC")
+			} else {
+				b.WriteString(" ASC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT " + strconv.FormatInt(*s.Limit, 10))
+	}
+}
+
+func formatTableExpr(b *strings.Builder, t TableExpr) {
+	switch x := t.(type) {
+	case *TableName:
+		b.WriteString(x.Name)
+		if x.Alias != "" {
+			b.WriteString(" AS " + x.Alias)
+		}
+	case *JoinExpr:
+		formatTableExpr(b, x.Left)
+		b.WriteString(" " + x.Kind.String() + " ")
+		if _, nested := x.Rite.(*JoinExpr); nested {
+			b.WriteString("(")
+			formatTableExpr(b, x.Rite)
+			b.WriteString(")")
+		} else {
+			formatTableExpr(b, x.Rite)
+		}
+		if x.On != nil {
+			b.WriteString(" ON ")
+			formatExpr(b, x.On, 0)
+		}
+	case *SubqueryTable:
+		b.WriteString("(")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+		if x.Alias != "" {
+			b.WriteString(" AS " + x.Alias)
+		}
+	default:
+		fmt.Fprintf(b, "/*unknown table expr %T*/", t)
+	}
+}
+
+// precedence levels for parenthesization: OR(1) < AND(2) < NOT(3) <
+// comparison(4) < additive(5) < multiplicative(6).
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "OR":
+			return 1
+		case "AND":
+			return 2
+		case "=", "<>", "<", "<=", ">", ">=", "LIKE":
+			return 4
+		case "+", "-":
+			return 5
+		case "*", "/":
+			return 6
+		}
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return 3
+		}
+		return 7
+	}
+	return 8
+}
+
+func formatExpr(b *strings.Builder, e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	paren := prec < parentPrec
+	if paren {
+		b.WriteString("(")
+	}
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table + "." + x.Column)
+		} else {
+			b.WriteString(x.Column)
+		}
+	case *Literal:
+		b.WriteString(x.Val.String())
+	case *Param:
+		b.WriteString("?")
+	case *BinaryExpr:
+		formatExpr(b, x.L, prec)
+		b.WriteString(" " + x.Op + " ")
+		formatExpr(b, x.R, prec+1)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			b.WriteString("NOT ")
+			formatExpr(b, x.E, prec+1)
+		} else {
+			b.WriteString(x.Op)
+			formatExpr(b, x.E, prec+1)
+		}
+	case *IsNullExpr:
+		formatExpr(b, x.E, 4)
+		if x.Negated {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	case *InListExpr:
+		formatExpr(b, x.E, 4)
+		if x.Negated {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, it := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, it, 0)
+		}
+		b.WriteString(")")
+	case *InSubquery:
+		formatExpr(b, x.E, 4)
+		if x.Negated {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *ExistsExpr:
+		if x.Negated {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *ScalarSubquery:
+		b.WriteString("(")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *TupleExpr:
+		b.WriteString("(")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, it, 0)
+		}
+		b.WriteString(")")
+	case *FuncCall:
+		b.WriteString(x.Name + "(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, a, 0)
+			}
+		}
+		b.WriteString(")")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			formatExpr(b, w.Cond, 0)
+			b.WriteString(" THEN ")
+			formatExpr(b, w.Then, 0)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			formatExpr(b, x.Else, 0)
+		}
+		b.WriteString(" END")
+	default:
+		fmt.Fprintf(b, "/*unknown expr %T*/", e)
+	}
+	if paren {
+		b.WriteString(")")
+	}
+}

@@ -1,0 +1,189 @@
+package template
+
+// Template enumeration (§4.1, Figure 3). The strategy mirrors the paper:
+// first enumerate tree shapes with unary and binary internal nodes, then
+// exhaustively assign operators to nodes, then attach Input leaves, and
+// finally number the symbols canonically in preorder. Templates that cannot
+// correspond to valid (or non-degenerate) SQL are filtered.
+
+// EnumOptions configures the enumerator.
+type EnumOptions struct {
+	// MaxSize bounds the number of operators excluding Input (paper: 4).
+	MaxSize int
+	// WithAgg includes the Agg operator (§5.2 SPES extension).
+	WithAgg bool
+	// WithUnion includes the Union operator (§5.2 SPES extension).
+	WithUnion bool
+	// WithRJoin includes RIGHT JOIN. Off by default: every RJoin template is
+	// the mirror image of an LJoin template, so enumerating both only
+	// duplicates rules.
+	WithRJoin bool
+}
+
+// DefaultEnumOptions matches the paper's configuration for the built-in
+// verifier (size 4, Table 2 operators, no Agg/Union).
+func DefaultEnumOptions() EnumOptions { return EnumOptions{MaxSize: 4} }
+
+// shape is a tree skeleton: 1 = unary node, 2 = binary node.
+type shape struct {
+	arity    int
+	children []*shape
+}
+
+// enumShapes returns all skeletons with exactly n internal nodes.
+func enumShapes(n int) []*shape {
+	if n == 0 {
+		return []*shape{nil} // leaf (future Input)
+	}
+	var out []*shape
+	// Unary root.
+	for _, c := range enumShapes(n - 1) {
+		out = append(out, &shape{arity: 1, children: []*shape{c}})
+	}
+	// Binary root.
+	for i := 0; i <= n-1; i++ {
+		ls := enumShapes(i)
+		rs := enumShapes(n - 1 - i)
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, &shape{arity: 2, children: []*shape{l, r}})
+			}
+		}
+	}
+	return out
+}
+
+func (o EnumOptions) unaryOps() []Op {
+	ops := []Op{OpProj, OpSel, OpDedup}
+	if o.WithAgg {
+		ops = append(ops, OpAgg)
+	}
+	return ops
+}
+
+func (o EnumOptions) binaryOps() []Op {
+	ops := []Op{OpInSub, OpIJoin, OpLJoin}
+	if o.WithRJoin {
+		ops = append(ops, OpRJoin)
+	}
+	if o.WithUnion {
+		ops = append(ops, OpUnion)
+	}
+	return ops
+}
+
+// Enumerate produces every valid template with size 1..MaxSize. Symbols are
+// numbered canonically in preorder, so structurally identical templates are
+// produced exactly once.
+func Enumerate(opts EnumOptions) []*Node {
+	var out []*Node
+	for n := 1; n <= opts.MaxSize; n++ {
+		for _, sh := range enumShapes(n) {
+			out = append(out, assign(sh, opts)...)
+		}
+	}
+	var valid []*Node
+	for _, t := range out {
+		if Valid(t) {
+			numberSymbols(t)
+			valid = append(valid, t)
+		}
+	}
+	return valid
+}
+
+// assign fills a skeleton with all compatible operator choices.
+func assign(sh *shape, opts EnumOptions) []*Node {
+	if sh == nil {
+		return []*Node{Input(Sym{Kind: KRel})}
+	}
+	var out []*Node
+	if sh.arity == 1 {
+		for _, sub := range assign(sh.children[0], opts) {
+			for _, op := range opts.unaryOps() {
+				out = append(out, &Node{Op: op, Children: []*Node{sub.Clone()}})
+			}
+		}
+		return out
+	}
+	ls := assign(sh.children[0], opts)
+	rs := assign(sh.children[1], opts)
+	for _, l := range ls {
+		for _, r := range rs {
+			for _, op := range opts.binaryOps() {
+				out = append(out, &Node{Op: op, Children: []*Node{l.Clone(), r.Clone()}})
+			}
+		}
+	}
+	return out
+}
+
+// Valid filters templates that cannot be valid, non-degenerate SQL:
+//
+//   - Dedup directly above Dedup is a no-op;
+//   - Proj directly above Proj composes into one projection;
+//   - Dedup as the right child of InSub is a no-op (IN ignores duplicates);
+//   - Union arms must be union-compatible, which symbolic enumeration cannot
+//     constrain except by forbidding Dedup directly under Union (subsumed by
+//     Union's own set semantics on at least one arm).
+func Valid(t *Node) bool {
+	ok := true
+	t.Walk(func(n *Node) {
+		switch n.Op {
+		case OpDedup:
+			if n.Children[0].Op == OpDedup {
+				ok = false
+			}
+		case OpProj:
+			if n.Children[0].Op == OpProj {
+				ok = false
+			}
+		case OpInSub:
+			if n.Children[1].Op == OpDedup {
+				ok = false
+			}
+		case OpUnion:
+			if n.Children[0].Op == OpDedup || n.Children[1].Op == OpDedup {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// numberSymbols assigns fresh canonical symbol IDs in preorder.
+func numberSymbols(t *Node) {
+	counters := map[SymKind]int{}
+	fresh := func(k SymKind) Sym {
+		id := counters[k]
+		counters[k]++
+		return Sym{Kind: k, ID: id}
+	}
+	t.Walk(func(n *Node) {
+		switch n.Op {
+		case OpInput:
+			n.Rel = fresh(KRel)
+		case OpProj:
+			n.Attrs = fresh(KAttrs)
+		case OpSel:
+			n.Pred = fresh(KPred)
+			n.Attrs = fresh(KAttrs)
+		case OpInSub:
+			n.Attrs = fresh(KAttrs)
+		case OpIJoin, OpLJoin, OpRJoin:
+			n.Attrs = fresh(KAttrs)
+			n.Attrs2 = fresh(KAttrs)
+		case OpAgg:
+			n.Attrs = fresh(KAttrs)
+			n.Attrs2 = fresh(KAttrs)
+			n.Func = fresh(KFunc)
+			n.Pred = fresh(KPred)
+		}
+	})
+}
+
+// CountShapes returns the number of tree skeletons with exactly n internal
+// nodes; exposed for the enumeration statistics reported in EXPERIMENTS.md.
+func CountShapes(n int) int {
+	return len(enumShapes(n))
+}

@@ -1,0 +1,573 @@
+package uexpr
+
+import (
+	"sort"
+
+	"wetune/internal/template"
+)
+
+// Additional rewrite lemmas: tuple congruence within a term, SubAttrs
+// composition, keyed-sum elimination, Unique row collapse, and the
+// complementary-terms identity that eliminates OUTER JOIN padding.
+
+// congruenceRewrite uses the term's top-level [tau1 = tau2] brackets as
+// rewrite equations. Every class of equal tuple terms is (a) re-emitted as a
+// canonical chain of equality brackets over its sorted members — any spanning
+// set of equalities over the same class has the same product value, so the
+// replacement is an identity — and (b) used to rewrite every other factor's
+// subterms to the class representative (the minimal member, which prefers
+// structured terms over bare `t` variables lexicographically, making
+// attribute compositions visible to subAttrsCompose).
+func (n *normalizer) congruenceRewrite(t *Term) (*Term, bool) {
+	type class struct{ members []Tuple }
+	classIdx := map[string]int{}
+	var classes []*class
+	lookup := func(tt Tuple) int {
+		key := tupleString(tt)
+		if i, ok := classIdx[key]; ok {
+			return i
+		}
+		classes = append(classes, &class{members: []Tuple{tt}})
+		classIdx[key] = len(classes) - 1
+		return len(classes) - 1
+	}
+	merge := func(a, b int) {
+		if a == b {
+			return
+		}
+		for _, m := range classes[b].members {
+			classIdx[tupleString(m)] = a
+		}
+		classes[a].members = append(classes[a].members, classes[b].members...)
+		classes[b].members = nil
+	}
+	hasEq := false
+	var rest []Factor
+	for _, f := range t.Factors {
+		if br, ok := f.(*Bracket); ok {
+			if eq, ok := br.B.(*BEq); ok {
+				merge(lookup(eq.L), lookup(eq.R))
+				hasEq = true
+				continue
+			}
+		}
+		rest = append(rest, f)
+	}
+	if !hasEq {
+		return nil, false
+	}
+	// Representatives and canonical chains.
+	rep := map[string]Tuple{}
+	var chains []Factor
+	for _, c := range classes {
+		if len(c.members) < 2 {
+			continue
+		}
+		sort.Slice(c.members, func(i, j int) bool {
+			return tupleString(c.members[i]) < tupleString(c.members[j])
+		})
+		// Deduplicate members (merge can introduce repeats).
+		uniq := c.members[:0]
+		var last string
+		for _, m := range c.members {
+			key := tupleString(m)
+			if key != last {
+				uniq = append(uniq, m)
+				last = key
+			}
+		}
+		c.members = uniq
+		if len(c.members) < 2 {
+			continue
+		}
+		best := c.members[0]
+		for _, m := range c.members[1:] {
+			rep[tupleString(m)] = best
+		}
+		for i := 0; i+1 < len(c.members); i++ {
+			chains = append(chains, &Bracket{B: &BEq{L: c.members[i], R: c.members[i+1]}})
+		}
+	}
+	changed := false
+	rewrite := func(tt Tuple) Tuple { return rewriteTuple(tt, rep, &changed) }
+	nt := &Term{Vars: t.Vars, Factors: chains}
+	for _, f := range rest {
+		nt.Factors = append(nt.Factors, mapFactorTuples(f, rewrite))
+	}
+	// Only report a change when the resulting factor multiset differs, to
+	// guarantee termination of the rewrite loop.
+	if renderTermFixed(nt, map[int]string{}) == renderTermFixed(t, map[int]string{}) {
+		return nil, false
+	}
+	return nt, true
+}
+
+// flattenConcats canonicalizes tuple concatenation left-associatively:
+// x.(y.z) becomes (x.y).z. Concatenation is associative on rows, so this is
+// an identity; it aligns the join-association rule's two sides.
+func (n *normalizer) flattenConcats(t *Term) (*Term, bool) {
+	changed := false
+	var flat func(tt Tuple) Tuple
+	flat = func(tt Tuple) Tuple {
+		switch x := tt.(type) {
+		case *TVar:
+			return x
+		case *TAttr:
+			return &TAttr{Attrs: x.Attrs, T: flat(x.T)}
+		case *TConcat:
+			l := flat(x.L)
+			r := flat(x.R)
+			if rc, ok := r.(*TConcat); ok {
+				changed = true
+				return flat(&TConcat{L: &TConcat{L: l, R: rc.L}, R: rc.R})
+			}
+			return &TConcat{L: l, R: r}
+		}
+		panic("unreachable")
+	}
+	nt := &Term{Vars: t.Vars}
+	for _, f := range t.Factors {
+		nt.Factors = append(nt.Factors, mapFactorTuples(f, flat))
+	}
+	if !changed {
+		return nil, false
+	}
+	return nt, true
+}
+
+// unwrapInnerSquash inlines ||g|| factors when the term lives inside an
+// enclosing squash: only the support matters there, and supp(C * ||g||) =
+// supp(C * g). Single-term bodies merge their summation variables into the
+// host term.
+func (n *normalizer) unwrapInnerSquash(nf *NF) *NF {
+	out := &NF{}
+	for _, t := range nf.Terms {
+		cur := t
+		for {
+			idx := -1
+			var body *Term
+			for fi, f := range cur.Factors {
+				sq, ok := f.(*SquashNF)
+				if !ok || len(sq.NF.Terms) != 1 {
+					continue
+				}
+				idx = fi
+				body = sq.NF.Terms[0]
+				break
+			}
+			if idx < 0 {
+				break
+			}
+			host := removeFactor(cur, idx)
+			inline := &Term{Vars: body.Vars, Factors: body.Factors}
+			inline = n.renameApart(inline, host)
+			cur = &Term{
+				Vars:    append(append([]*TVar{}, host.Vars...), inline.Vars...),
+				Factors: append(append([]Factor{}, host.Factors...), inline.Factors...),
+			}
+		}
+		out.Terms = append(out.Terms, cur)
+	}
+	return out
+}
+
+// rewriteTuple replaces maximal subterms found in rep, bottom-up, to a
+// fixpoint bounded by the term depth.
+func rewriteTuple(tt Tuple, rep map[string]Tuple, changed *bool) Tuple {
+	for i := 0; i < 8; i++ {
+		next, c := rewriteTupleOnce(tt, rep)
+		if !c {
+			return tt
+		}
+		*changed = true
+		tt = next
+	}
+	return tt
+}
+
+func rewriteTupleOnce(tt Tuple, rep map[string]Tuple) (Tuple, bool) {
+	if r, ok := rep[tupleString(tt)]; ok {
+		return r, true
+	}
+	switch x := tt.(type) {
+	case *TVar:
+		return x, false
+	case *TAttr:
+		inner, c := rewriteTupleOnce(x.T, rep)
+		if c {
+			return &TAttr{Attrs: x.Attrs, T: inner}, true
+		}
+		return x, false
+	case *TConcat:
+		l, cl := rewriteTupleOnce(x.L, rep)
+		r, cr := rewriteTupleOnce(x.R, rep)
+		if cl || cr {
+			return &TConcat{L: l, R: r}, true
+		}
+		return x, false
+	}
+	panic("unreachable")
+}
+
+// subAttrsCompose applies a1(a2(t)) = a1(t) for SubAttrs(a1, a2) (Table 4).
+func (n *normalizer) subAttrsCompose(t *Term) (*Term, bool) {
+	changed := false
+	fn := func(tt Tuple) Tuple { return n.composeTuple(tt, &changed) }
+	nt := &Term{Vars: t.Vars}
+	for _, f := range t.Factors {
+		nt.Factors = append(nt.Factors, mapFactorTuples(f, fn))
+	}
+	if !changed {
+		return nil, false
+	}
+	return nt, true
+}
+
+func (n *normalizer) composeTuple(tt Tuple, changed *bool) Tuple {
+	switch x := tt.(type) {
+	case *TVar:
+		return x
+	case *TConcat:
+		return &TConcat{L: n.composeTuple(x.L, changed), R: n.composeTuple(x.R, changed)}
+	case *TAttr:
+		inner := n.composeTuple(x.T, changed)
+		if ia, ok := inner.(*TAttr); ok {
+			// Projection is idempotent: a(a(t)) = a(t), and composable when
+			// SubAttrs(a1, a2) holds.
+			if x.Attrs == ia.Attrs || n.env.SubPairs[[2]template.Sym{x.Attrs, ia.Attrs}] {
+				*changed = true
+				return n.composeTuple(&TAttr{Attrs: x.Attrs, T: ia.T}, changed)
+			}
+		}
+		return &TAttr{Attrs: x.Attrs, T: inner}
+	}
+	panic("unreachable")
+}
+
+// existsWitness reports whether a keyed sum sum_y r2(y)*[a2(y)=tau] is
+// guaranteed >= 1 whenever the surrounding term is non-zero: either
+// RefAttrs(r1, a1, r2, a2) with tau = a1(v) and r1(v) in the term, or the
+// reflexive case r2 = r1, a2 = a1, tau = a2(v) with r2(v) in the term.
+// Both cases need tau known non-NULL (NotNull(r1,a1) or an explicit guard).
+func (n *normalizer) existsWitness(t *Term, skip int, ks *keyedSum) bool {
+	a1v, ok := ks.tau.(*TAttr)
+	if !ok {
+		return false
+	}
+	arg := tupleString(a1v.T)
+	for _, r1 := range relFactors(t)[arg] {
+		reflexive := r1 == ks.rel && a1v.Attrs == ks.attrs
+		ref := n.env.Ref[[4]template.Sym{r1, a1v.Attrs, ks.rel, ks.attrs}]
+		if !reflexive && !ref {
+			continue
+		}
+		// Null guard: when the keyed sum carries a not([IsNull(tau)]) guard
+		// internally, a NULL tau makes the sum 0 rather than >= 1, so the
+		// guard must be ensured by the outer term.
+		if len(ks.extra) == 0 && reflexive {
+			return true // witness y = v works regardless of NULLs
+		}
+		if n.env.NotNull[[2]template.Sym{r1, a1v.Attrs}] || termGuardsNotNull(t, skip, a1v) {
+			return true
+		}
+	}
+	return false
+}
+
+// elimKeyedVar removes a bound variable v whose only occurrences are the
+// factor pair r2(v), [a2(v) = tau] when Unique(r2, a2) bounds the sum by 1
+// and an existence witness bounds it from below: the sub-sum is exactly 1.
+func (n *normalizer) elimKeyedVar(t *Term) (*Term, bool) {
+	for vi, v := range t.Vars {
+		relIdx, eqIdx := -1, -1
+		extraUse := false
+		var ks keyedSum
+		for fi, f := range t.Factors {
+			if !factorUsesVars(f, map[int]bool{v.ID: true}) {
+				continue
+			}
+			switch x := f.(type) {
+			case *Rel:
+				if tv, ok := x.T.(*TVar); ok && tv.ID == v.ID && relIdx < 0 {
+					relIdx = fi
+					ks.rel = x.Rel
+				} else {
+					extraUse = true
+				}
+			case *Bracket:
+				if eq, ok := x.B.(*BEq); ok && eqIdx < 0 {
+					if attrs, tau, ok := splitKeyEq(eq, v.ID); ok {
+						usesV := false
+						for _, id := range TupleVars(tau) {
+							if id == v.ID {
+								usesV = true
+							}
+						}
+						if !usesV {
+							eqIdx = fi
+							ks.attrs = attrs
+							ks.tau = tau
+							continue
+						}
+					}
+				}
+				extraUse = true
+			default:
+				extraUse = true
+			}
+		}
+		if extraUse || relIdx < 0 || eqIdx < 0 {
+			continue
+		}
+		if !n.env.UniqueKey[[2]template.Sym{ks.rel, ks.attrs}] {
+			continue
+		}
+		probe := &Term{Vars: t.Vars, Factors: t.Factors}
+		if !n.existsWitnessForPair(probe, relIdx, eqIdx, &ks) {
+			continue
+		}
+		// Remove v, the Rel factor and the equality factor.
+		nt := &Term{}
+		for vj, w := range t.Vars {
+			if vj != vi {
+				nt.Vars = append(nt.Vars, w)
+			}
+		}
+		for fi, f := range t.Factors {
+			if fi != relIdx && fi != eqIdx {
+				nt.Factors = append(nt.Factors, f)
+			}
+		}
+		return nt, true
+	}
+	return nil, false
+}
+
+func (n *normalizer) existsWitnessForPair(t *Term, relIdx, eqIdx int, ks *keyedSum) bool {
+	a1v, ok := ks.tau.(*TAttr)
+	if !ok {
+		return false
+	}
+	arg := tupleString(a1v.T)
+	for fi, f := range t.Factors {
+		if fi == relIdx {
+			continue
+		}
+		r, ok := f.(*Rel)
+		if !ok || tupleString(r.T) != arg {
+			continue
+		}
+		r1 := r.Rel
+		reflexive := r1 == ks.rel && a1v.Attrs == ks.attrs
+		ref := n.env.Ref[[4]template.Sym{r1, a1v.Attrs, ks.rel, ks.attrs}]
+		if !reflexive && !ref {
+			continue
+		}
+		if reflexive {
+			return true
+		}
+		if n.env.NotNull[[2]template.Sym{r1, a1v.Attrs}] || termGuardsNotNull(t, eqIdx, a1v) {
+			return true
+		}
+	}
+	return false
+}
+
+// uniqueRowCollapse applies the second conjunct of Unique(r, a): two rows of
+// r agreeing on a are the same row. A bound variable y with factors r(y) and
+// [a(y) = a(x)] where r(x) is also present collapses to x (and the duplicate
+// r(x) factor collapses because Unique implies r(x) <= 1).
+func (n *normalizer) uniqueRowCollapse(t *Term) (*Term, bool) {
+	bound := t.boundSet()
+	for _, f := range t.Factors {
+		br, ok := f.(*Bracket)
+		if !ok {
+			continue
+		}
+		eq, ok := br.B.(*BEq)
+		if !ok {
+			continue
+		}
+		la, lok := eq.L.(*TAttr)
+		ra, rok := eq.R.(*TAttr)
+		if !lok || !rok || la.Attrs != ra.Attrs {
+			continue
+		}
+		lv, lok := la.T.(*TVar)
+		rv, rok := ra.T.(*TVar)
+		if !lok || !rok || lv.ID == rv.ID {
+			continue
+		}
+		tryCollapse := func(y, x *TVar) (*Term, bool) {
+			if !bound[y.ID] {
+				return nil, false
+			}
+			var relSym template.Sym
+			found := false
+			for _, rf := range relFactors(t)[tupleString(y)] {
+				for _, rx := range relFactors(t)[tupleString(x)] {
+					if rf == rx && n.env.UniqueKey[[2]template.Sym{rf, la.Attrs}] {
+						relSym = rf
+						found = true
+					}
+				}
+			}
+			if !found {
+				return nil, false
+			}
+			_ = relSym
+			// Substitute y := x everywhere, drop y.
+			nt := &Term{}
+			for _, w := range t.Vars {
+				if w.ID != y.ID {
+					nt.Vars = append(nt.Vars, w)
+				}
+			}
+			for _, g := range t.Factors {
+				nt.Factors = append(nt.Factors, substFactorTuple(g, y.ID, x))
+			}
+			return nt, true
+		}
+		if nt, ok := tryCollapse(lv, rv); ok {
+			return nt, true
+		}
+		if nt, ok := tryCollapse(rv, lv); ok {
+			return nt, true
+		}
+	}
+	return nil, false
+}
+
+// dedupUniqueRel removes duplicate r(tau) factors when Unique(r, .) bounds
+// r's multiplicities by 1 (then r(tau)^2 = r(tau)).
+func (n *normalizer) dedupUniqueRel(t *Term) (*Term, bool) {
+	seen := map[string]bool{}
+	for fi, f := range t.Factors {
+		r, ok := f.(*Rel)
+		if !ok || !n.env.uniqueRel(r.Rel) {
+			continue
+		}
+		key := r.Rel.String() + "@" + tupleString(r.T)
+		if seen[key] {
+			return removeFactor(t, fi), true
+		}
+		seen[key] = true
+	}
+	return nil, false
+}
+
+// addComplementary merges term pairs C * M and C * not(M) into C when M is a
+// keyed sum bounded by 1 (Unique): M + not(M) = 1. This eliminates the
+// padding arm left by an OUTER JOIN whose right side is keyed (§5.1.1,
+// rules 11-14 of Table 7).
+func (n *normalizer) addComplementary(nf *NF) (*NF, bool) {
+	for i, tNeg := range nf.Terms {
+		for fi, f := range tNeg.Factors {
+			notF, ok := f.(*NotNF)
+			if !ok {
+				continue
+			}
+			ks, ok := matchKeyedSum(notF.NF)
+			if !ok || !n.env.UniqueKey[[2]template.Sym{ks.rel, ks.attrs}] {
+				continue
+			}
+			// Candidate merged term: tNeg without the not(...) factor.
+			merged := removeFactor(tNeg, fi)
+			// Candidate positive term: merged with the keyed sum inlined.
+			inline := &Term{Vars: []*TVar{ks.v}, Factors: ks.term.Factors}
+			inline = n.renameApart(inline, merged)
+			positive := &Term{
+				Vars:    append(append([]*TVar{}, merged.Vars...), inline.Vars...),
+				Factors: append(append([]Factor{}, merged.Factors...), inline.Factors...),
+			}
+			posCanon := renderTermFixed(n.termSimplified(positive), map[int]string{})
+			for j, tPos := range nf.Terms {
+				if j == i {
+					continue
+				}
+				if renderTermFixed(n.termSimplified(tPos), map[int]string{}) != posCanon {
+					continue
+				}
+				// Merge: drop both, add the merged term.
+				out := &NF{}
+				for k, tk := range nf.Terms {
+					if k != i && k != j {
+						out.Terms = append(out.Terms, tk)
+					}
+				}
+				out.Terms = append(out.Terms, merged)
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// squashComplementary merges C*M-inlined and C*not(M) term pairs inside a
+// squashed NF, with no Unique requirement: M + not(M) >= 1 always, and under
+// a squash only the support matters, so ||sum C*M + sum C*not(M)|| =
+// ||sum C||. This eliminates OUTER JOIN padding under Dedup (rules 13/14).
+func (n *normalizer) squashComplementary(nf *NF) (*NF, bool) {
+	for i, tNeg := range nf.Terms {
+		for fi, f := range tNeg.Factors {
+			notF, ok := f.(*NotNF)
+			if !ok {
+				continue
+			}
+			ks, ok := matchKeyedSum(notF.NF)
+			if !ok {
+				continue
+			}
+			merged := removeFactor(tNeg, fi)
+			inline := &Term{Vars: []*TVar{ks.v}, Factors: ks.term.Factors}
+			inline = n.renameApart(inline, merged)
+			positive := &Term{
+				Vars:    append(append([]*TVar{}, merged.Vars...), inline.Vars...),
+				Factors: append(append([]Factor{}, merged.Factors...), inline.Factors...),
+			}
+			posCanon := renderTermFixed(n.termSimplified(positive), map[int]string{})
+			for j, tPos := range nf.Terms {
+				if j == i {
+					continue
+				}
+				if renderTermFixed(n.termSimplified(tPos), map[int]string{}) != posCanon {
+					continue
+				}
+				out := &NF{}
+				for k, tk := range nf.Terms {
+					if k != i && k != j {
+						out.Terms = append(out.Terms, tk)
+					}
+				}
+				out.Terms = append(out.Terms, merged)
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// termSimplified runs the per-term simplification pipeline on a copy, for
+// comparison purposes.
+func (n *normalizer) termSimplified(t *Term) *Term {
+	t2, dead := n.simplifyTerm(t)
+	if dead {
+		return &Term{Factors: []Factor{&Bracket{B: &BIsNull{T: &TVar{ID: -1}}}}} // sentinel, never matches
+	}
+	return t2
+}
+
+// sortedSymKeys is a helper for deterministic debugging output.
+func sortedSymKeys(m map[template.Sym]bool) []template.Sym {
+	out := make([]template.Sym, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

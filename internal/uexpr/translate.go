@@ -1,0 +1,172 @@
+package uexpr
+
+import (
+	"fmt"
+
+	"wetune/internal/template"
+)
+
+// Translate converts a plan template into its U-expression per Table 3 of
+// the paper. The returned expression gives the multiplicity of the tuple
+// bound to the returned output variable. Agg and Union are not supported by
+// the built-in verifier (Table 6) and return ErrUnsupported.
+func Translate(t *template.Node) (Expr, *TVar, error) {
+	tr := &translator{}
+	return tr.trans(t)
+}
+
+// ErrUnsupported marks operators the built-in verifier cannot model (§5.2).
+type UnsupportedError struct {
+	Op template.Op
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("uexpr: operator %s is not supported by the built-in verifier", e.Op)
+}
+
+type translator struct {
+	nextVar int
+}
+
+func (tr *translator) fresh(scope []template.Sym) *TVar {
+	v := &TVar{ID: tr.nextVar, Scope: scope}
+	tr.nextVar++
+	return v
+}
+
+// relScope lists the relation symbols under a template node.
+func relScope(t *template.Node) []template.Sym {
+	return t.RelSyms()
+}
+
+func (tr *translator) trans(t *template.Node) (Expr, *TVar, error) {
+	switch t.Op {
+	case template.OpInput:
+		out := tr.fresh([]template.Sym{t.Rel})
+		return &Rel{Rel: t.Rel, T: out}, out, nil
+
+	case template.OpProj:
+		fl, x, err := tr.trans(t.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		out := tr.fresh(relScope(t))
+		// f(t) = sum_x( f_l(x) * [t = a(x)] )
+		body := &Mul{Fs: []Expr{fl, &Bracket{B: &BEq{L: out, R: &TAttr{Attrs: t.Attrs, T: x}}}}}
+		return &Sum{Vars: []*TVar{x}, E: body}, out, nil
+
+	case template.OpSel:
+		fl, x, err := tr.trans(t.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		// f(t) = f_l(t) * [p(a(t))]
+		pred := &Bracket{B: &BPred{Pred: t.Pred, T: &TAttr{Attrs: t.Attrs, T: x}}}
+		return &Mul{Fs: []Expr{fl, pred}}, x, nil
+
+	case template.OpInSub:
+		fl, x, err := tr.trans(t.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		fr, y, err := tr.trans(t.Children[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		// f(t) = f_l(t) * ||f_r(a(t))|| * not([IsNull(a(t))])
+		at := &TAttr{Attrs: t.Attrs, T: x}
+		frApplied := SubstTuple(fr, y.ID, at)
+		return &Mul{Fs: []Expr{
+			fl,
+			&Squash{E: frApplied},
+			&Not{E: &Bracket{B: &BIsNull{T: at}}},
+		}}, x, nil
+
+	case template.OpIJoin:
+		return tr.transJoin(t, false, false)
+	case template.OpLJoin:
+		return tr.transJoin(t, true, false)
+	case template.OpRJoin:
+		return tr.transJoin(t, false, true)
+
+	case template.OpDedup:
+		fl, x, err := tr.trans(t.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Squash{E: fl}, x, nil
+
+	case template.OpAgg, template.OpUnion:
+		return nil, nil, &UnsupportedError{Op: t.Op}
+	}
+	return nil, nil, fmt.Errorf("uexpr: unknown operator %v", t.Op)
+}
+
+// transJoin builds the IJoin / LJoin / RJoin expressions of Table 3.
+func (tr *translator) transJoin(t *template.Node, left, right bool) (Expr, *TVar, error) {
+	fl, x, err := tr.trans(t.Children[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	fr, y, err := tr.trans(t.Children[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	out := tr.fresh(relScope(t))
+	al := func(tt Tuple) Tuple { return &TAttr{Attrs: t.Attrs, T: tt} }
+	ar := func(tt Tuple) Tuple { return &TAttr{Attrs: t.Attrs2, T: tt} }
+
+	inner := &Sum{Vars: []*TVar{x, y}, E: &Mul{Fs: []Expr{
+		&Bracket{B: &BEq{L: out, R: &TConcat{L: x, R: y}}},
+		fl,
+		fr,
+		&Bracket{B: &BEq{L: al(x), R: ar(y)}},
+		&Not{E: &Bracket{B: &BIsNull{T: al(x)}}},
+	}}}
+	switch {
+	case left:
+		// + sum_{x,y}( [t = x.y] * f_l(x) * [IsNull(y)] *
+		//              not(sum_{y'}( f_r(y') * [a_l(x) = a_r(y')] * not([IsNull(a_l(x))]) )) )
+		frCopy, yP, err := tr.transFreshCopy(t.Children[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		noMatch := &Not{E: &Sum{Vars: []*TVar{yP}, E: &Mul{Fs: []Expr{
+			frCopy,
+			&Bracket{B: &BEq{L: al(x), R: ar(yP)}},
+			&Not{E: &Bracket{B: &BIsNull{T: al(x)}}},
+		}}}}
+		pad := &Sum{Vars: []*TVar{x, y}, E: &Mul{Fs: []Expr{
+			&Bracket{B: &BEq{L: out, R: &TConcat{L: x, R: y}}},
+			fl,
+			&Bracket{B: &BIsNull{T: y}},
+			noMatch,
+		}}}
+		return &Add{Ts: []Expr{inner, pad}}, out, nil
+	case right:
+		flCopy, xP, err := tr.transFreshCopy(t.Children[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		noMatch := &Not{E: &Sum{Vars: []*TVar{xP}, E: &Mul{Fs: []Expr{
+			flCopy,
+			&Bracket{B: &BEq{L: al(xP), R: ar(y)}},
+			&Not{E: &Bracket{B: &BIsNull{T: ar(y)}}},
+		}}}}
+		pad := &Sum{Vars: []*TVar{x, y}, E: &Mul{Fs: []Expr{
+			&Bracket{B: &BEq{L: out, R: &TConcat{L: x, R: y}}},
+			fr,
+			&Bracket{B: &BIsNull{T: x}},
+			noMatch,
+		}}}
+		return &Add{Ts: []Expr{inner, pad}}, out, nil
+	default:
+		return inner, out, nil
+	}
+}
+
+// transFreshCopy translates a subtree with entirely fresh tuple variables
+// (needed for the y' copy in the OUTER JOIN non-matching condition).
+func (tr *translator) transFreshCopy(t *template.Node) (Expr, *TVar, error) {
+	return tr.trans(t)
+}

@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"testing"
+
+	"wetune/internal/plan"
+	"wetune/internal/sql"
+)
+
+func absSchema() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "emp",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "dept", Type: sql.TInt},
+			{Name: "salary", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	return s
+}
+
+func absPlan(t *testing.T, q string) plan.Node {
+	t.Helper()
+	p, err := plan.BuildSQL(q, absSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVerifyPlanPairConjunctOrder(t *testing.T) {
+	a := absPlan(t, "SELECT id FROM emp WHERE dept = 1 AND salary = 2")
+	b := absPlan(t, "SELECT id FROM emp WHERE salary = 2 AND dept = 1")
+	rep := VerifyPlanPair(a, b, absSchema())
+	if rep.Outcome != Verified {
+		t.Fatalf("conjunct reorder: %v (%s)", rep.Outcome, rep.Detail)
+	}
+}
+
+func TestVerifyPlanPairDistinctPK(t *testing.T) {
+	a := absPlan(t, "SELECT DISTINCT id FROM emp")
+	b := absPlan(t, "SELECT id FROM emp")
+	rep := VerifyPlanPair(a, b, absSchema())
+	if rep.Outcome != Verified {
+		t.Fatalf("distinct-pk: %v (%s)", rep.Outcome, rep.Detail)
+	}
+}
+
+func TestVerifyPlanPairRejectsWrong(t *testing.T) {
+	a := absPlan(t, "SELECT id FROM emp WHERE dept = 1")
+	b := absPlan(t, "SELECT id FROM emp WHERE dept = 2")
+	rep := VerifyPlanPair(a, b, absSchema())
+	if rep.Outcome == Verified {
+		t.Fatal("different constants verified")
+	}
+	// DISTINCT on non-unique column is not removable.
+	c := absPlan(t, "SELECT DISTINCT dept FROM emp")
+	d := absPlan(t, "SELECT dept FROM emp")
+	if rep := VerifyPlanPair(c, d, absSchema()); rep.Outcome == Verified {
+		t.Fatal("distinct on non-key verified")
+	}
+}
+
+func TestVerifyPlanPairSelfInSub(t *testing.T) {
+	a := absPlan(t, "SELECT * FROM emp WHERE id IN (SELECT id FROM emp)")
+	b := absPlan(t, "SELECT * FROM emp")
+	rep := VerifyPlanPair(a, b, absSchema())
+	if rep.Outcome != Verified {
+		t.Fatalf("self IN-subquery: %v (%s)", rep.Outcome, rep.Detail)
+	}
+}

@@ -1,0 +1,250 @@
+// Package verify implements WeTune's built-in rule verifier (§5.1). A rule
+// <q_src, q_dest, C> is checked in three stages:
+//
+//  1. the equivalence constraints in C (RelEq/AttrsEq/PredEq) unify symbols
+//     across the two templates;
+//  2. both templates are translated to U-expressions (Table 3) and normalized
+//     under constraint-derived rewrite lemmas; syntactically equal normal
+//     forms prove the rule (the algebraic fast path);
+//  3. otherwise the equation is translated to FOL (Tables 4-5, Theorems
+//     5.1/5.2) and the negated implication is checked for UNSAT with the
+//     mini SMT solver.
+//
+// Like the paper, anything not proven is conservatively rejected; a separate
+// finite-model search can positively refute incorrect rules (used by the
+// §5.1.2 timeout study).
+package verify
+
+import (
+	"fmt"
+
+	"wetune/internal/constraint"
+	"wetune/internal/fol"
+	"wetune/internal/smt"
+	"wetune/internal/template"
+	"wetune/internal/uexpr"
+)
+
+// Outcome classifies a verification attempt.
+type Outcome int
+
+// Verification outcomes.
+const (
+	// Verified: the rule is proven correct.
+	Verified Outcome = iota
+	// Rejected: not proven (treated as incorrect, like the paper's timeout).
+	Rejected
+	// Refuted: a concrete counterexample witnesses incorrectness.
+	Refuted
+	// Unsupported: the templates use operators the built-in verifier cannot
+	// model (Agg/Union, Table 6).
+	Unsupported
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Verified:
+		return "verified"
+	case Rejected:
+		return "rejected"
+	case Refuted:
+		return "refuted"
+	case Unsupported:
+		return "unsupported"
+	}
+	return "?"
+}
+
+// Method records which stage proved the rule.
+type Method int
+
+// Proof methods.
+const (
+	MethodNone Method = iota
+	MethodAlgebraic
+	MethodSMT
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAlgebraic:
+		return "algebraic"
+	case MethodSMT:
+		return "smt"
+	}
+	return "none"
+}
+
+// Report is the result of verifying one rule.
+type Report struct {
+	Outcome Outcome
+	Method  Method
+	Stats   smt.Stats
+	Detail  string
+}
+
+// Options tunes the verifier.
+type Options struct {
+	SMT smt.Options
+	// SkipSMT disables the FOL/SMT fallback (algebraic path only); used by
+	// the ablation benchmarks.
+	SkipSMT bool
+	// SkipAlgebraic disables the algebraic fast path (SMT only).
+	SkipAlgebraic bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{SMT: smt.DefaultOptions()} }
+
+// Verify checks the rule <src, dest, cs>.
+func Verify(src, dest *template.Node, cs *constraint.Set) Report {
+	return VerifyOpts(src, dest, cs, DefaultOptions())
+}
+
+// VerifyOpts is Verify with explicit options.
+func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
+	cl := constraint.Closure(cs)
+	reps := buildReps(cl)
+	srcU := src.Substitute(reps)
+	destU := dest.Substitute(reps)
+
+	env := buildEnv(cl, reps)
+
+	es, vs, err := uexpr.Translate(srcU)
+	if err != nil {
+		return Report{Outcome: Unsupported, Detail: err.Error()}
+	}
+	ed, vd, err := uexpr.Translate(destU)
+	if err != nil {
+		return Report{Outcome: Unsupported, Detail: err.Error()}
+	}
+	ed = uexpr.SubstTuple(ed, vd.ID, vs)
+
+	ns := uexpr.Normalize(es, env)
+	nd := uexpr.Normalize(ed, env)
+
+	if !opts.SkipAlgebraic && ns.Canon() == nd.Canon() {
+		return Report{Outcome: Verified, Method: MethodAlgebraic}
+	}
+	if opts.SkipSMT {
+		return Report{Outcome: Rejected, Detail: "algebraic forms differ"}
+	}
+
+	// SMT fallback: translate the residual constraints and the equation.
+	fv := fol.NewFreshVars(1 << 16)
+	residual := residualConstraints(cl, reps)
+	hyp, err := fol.SetToFOL(residual, fv)
+	if err != nil {
+		return Report{Outcome: Rejected, Detail: err.Error()}
+	}
+	candidates, err := fol.EquationCandidates(ns, nd, vs)
+	if err != nil || len(candidates) == 0 {
+		return Report{Outcome: Rejected, Detail: "no FOL translation (footnote 3)"}
+	}
+	var last smt.Stats
+	for _, goal := range candidates {
+		ok, st := smt.ProveValid(hyp, goal, opts.SMT)
+		last = st
+		if ok {
+			return Report{Outcome: Verified, Method: MethodSMT, Stats: st}
+		}
+	}
+	return Report{Outcome: Rejected, Stats: last, Detail: "SMT could not prove UNSAT"}
+}
+
+// buildReps maps every symbol to its equivalence-class representative under
+// the rule's equality constraints, including the implicit a_r symbols.
+func buildReps(cl *constraint.Set) map[template.Sym]template.Sym {
+	reps := map[template.Sym]template.Sym{}
+	for _, kind := range []constraint.Kind{
+		constraint.RelEq, constraint.AttrsEq, constraint.PredEq, constraint.AggrEq,
+	} {
+		for s, rep := range constraint.UnionFind(cl, kind) {
+			if s != rep {
+				reps[s] = rep
+			}
+		}
+	}
+	// Relation unification carries the implicit attrs symbols along.
+	for s, rep := range reps {
+		if s.Kind == template.KRel {
+			reps[template.AttrsOf(s)] = template.AttrsOf(rep)
+		}
+	}
+	return reps
+}
+
+func applyRep(reps map[template.Sym]template.Sym, s template.Sym) template.Sym {
+	if r, ok := reps[s]; ok {
+		return r
+	}
+	return s
+}
+
+// buildEnv extracts the normalizer's fact tables from the closed constraint
+// set, with all symbols mapped to representatives.
+func buildEnv(cl *constraint.Set, reps map[template.Sym]template.Sym) *uexpr.Env {
+	env := uexpr.EmptyEnv()
+	for _, c := range cl.Items() {
+		switch c.Kind {
+		case constraint.SubAttrs:
+			a1 := applyRep(reps, c.Syms[0])
+			a2 := applyRep(reps, c.Syms[1])
+			env.SubPairs[[2]template.Sym{a1, a2}] = true
+			if a2.Kind == template.KAttrsOf {
+				rel := applyRep(reps, template.Sym{Kind: template.KRel, ID: a2.ID})
+				if env.AttrSource[a1] == nil {
+					env.AttrSource[a1] = map[template.Sym]bool{}
+				}
+				env.AttrSource[a1][rel] = true
+			}
+		case constraint.Unique:
+			env.UniqueKey[[2]template.Sym{applyRep(reps, c.Syms[0]), applyRep(reps, c.Syms[1])}] = true
+		case constraint.NotNull:
+			env.NotNull[[2]template.Sym{applyRep(reps, c.Syms[0]), applyRep(reps, c.Syms[1])}] = true
+		case constraint.RefAttrs:
+			env.Ref[[4]template.Sym{
+				applyRep(reps, c.Syms[0]), applyRep(reps, c.Syms[1]),
+				applyRep(reps, c.Syms[2]), applyRep(reps, c.Syms[3]),
+			}] = true
+		}
+	}
+	return env
+}
+
+// residualConstraints keeps the non-equality constraints (equalities are
+// baked into the templates by substitution) with symbols mapped to
+// representatives, deduplicated.
+func residualConstraints(cl *constraint.Set, reps map[template.Sym]template.Sym) *constraint.Set {
+	out := constraint.NewSet()
+	for _, c := range cl.Items() {
+		switch c.Kind {
+		case constraint.RelEq, constraint.AttrsEq, constraint.PredEq, constraint.AggrEq:
+			continue
+		}
+		n := 2
+		if c.Kind == constraint.RefAttrs {
+			n = 4
+		}
+		syms := make([]template.Sym, n)
+		for i := 0; i < n; i++ {
+			syms[i] = applyRep(reps, c.Syms[i])
+		}
+		// AttrsOf symbols cannot appear in the FOL encoding of Unique /
+		// NotNull / RefAttrs positions meaningfully; they do occur in
+		// SubAttrs second positions and translate fine.
+		out2 := constraint.New(c.Kind, syms...)
+		_ = out2
+		out = addTo(out, constraint.New(c.Kind, syms...))
+	}
+	return out
+}
+
+func addTo(s *constraint.Set, c constraint.C) *constraint.Set {
+	return s.Union(constraint.NewSet(c))
+}
+
+// String renders a rule for diagnostics.
+func RuleString(src, dest *template.Node, cs *constraint.Set) string {
+	return fmt.Sprintf("%s  =>  %s  under %s", src, dest, cs)
+}

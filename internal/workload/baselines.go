@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"wetune/internal/rules"
+)
+
+// Baseline rewriter rule sets (§2.2, §8.3). Both baselines live in our own
+// rewriting framework but are restricted to the rules the respective system
+// is known to support (the Calcite / MS columns of Table 7); WeTune gets the
+// full table plus its own discovered extras.
+
+// WeTuneRules is the full rule set: Table 7 plus discovered extras.
+func WeTuneRules() []rules.Rule { return rules.All() }
+
+// CalciteRules keeps only the rules Apache Calcite supports.
+func CalciteRules() []rules.Rule {
+	var out []rules.Rule
+	for _, r := range rules.Table7() {
+		if r.Calcite {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MSSQLRules keeps only the rules MS SQL Server supports ("Y" or the
+// conditional "C" cases).
+func MSSQLRules() []rules.Rule {
+	var out []rules.Rule
+	for _, r := range rules.Table7() {
+		if r.MS == "Y" || r.MS == "C" {
+			out = append(out, r)
+		}
+	}
+	return out
+}

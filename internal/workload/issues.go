@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+
+	"wetune/internal/sql"
+)
+
+// Issue is one of the 50 GitHub performance issues of §2.2: the original
+// query as the application (usually its ORM) generated it, and the more
+// efficient form the developers rewrote it into.
+type Issue struct {
+	ID      int
+	App     string
+	Source  string // issue archetype
+	Schema  *sql.Schema
+	SQL     string
+	Desired string
+}
+
+// Issues returns the 50-issue study corpus. The queries instantiate the
+// inefficiency archetypes the paper describes (duplicated IN-subqueries,
+// redundant ORDER BY, self-semi-joins on keys, joins an FK makes removable,
+// …) across the four application schemas; the final twelve need predicate
+// rewriting or aggregation reasoning no rule-based rewriter in this study
+// performs, matching the paper's 12 unfixable cases.
+func Issues() []Issue {
+	vcs := vcsSchema()
+	forum := forumSchema()
+	shop := shopSchema()
+	tracker := trackerSchema()
+
+	var out []Issue
+	id := 0
+	add := func(app string, schema *sql.Schema, source, q, desired string) {
+		id++
+		out = append(out, Issue{ID: id, App: app, Source: source, Schema: schema, SQL: q, Desired: desired})
+	}
+
+	// --- Group 1 (4 issues): fixable by Calcite, MSSQL and WeTune ---------
+	// IN-subquery to join over a unique key (rule 24) / self-IN (rule 15).
+	add("gitlab", vcs, "in-to-join",
+		"SELECT labels.title FROM labels WHERE id IN (SELECT id FROM projects)",
+		"SELECT labels.title FROM labels INNER JOIN projects ON labels.id = projects.id")
+	add("discourse", forum, "in-to-join",
+		"SELECT posts.like_count FROM posts WHERE topic_id IN (SELECT id FROM topics)",
+		"SELECT posts.like_count FROM posts INNER JOIN topics ON posts.topic_id = topics.id")
+	add("gitlab", vcs, "self-in-elim",
+		"SELECT * FROM notes WHERE id IN (SELECT id FROM notes)",
+		"SELECT * FROM notes")
+	add("redmine", tracker, "self-in-elim",
+		"SELECT * FROM issues WHERE id IN (SELECT id FROM issues)",
+		"SELECT * FROM issues")
+
+	// --- Group 2 (19 issues): fixable by MSSQL and WeTune, not Calcite ----
+	// FK join elimination (rules 7/8), LEFT JOIN elimination (rules 11/12),
+	// LEFT JOIN -> INNER JOIN (rule 6), DISTINCT on key (rule 2).
+	joinElim := []struct {
+		app                          string
+		schema                       *sql.Schema
+		child, col, parent, childCol string
+	}{
+		{"gitlab", vcs, "merge_requests", "project_id", "projects", "state"},
+		{"gitlab", vcs, "merge_requests", "author_id", "users", "title"},
+		{"gitlab", vcs, "notes", "author_id", "users", "type"},
+		{"discourse", forum, "posts", "topic_id", "topics", "like_count"},
+		{"discourse", forum, "posts", "user_id", "users", "like_count"},
+		{"discourse", forum, "topics", "user_id", "users", "title"},
+		{"spree", shop, "line_items", "order_id", "orders", "quantity"},
+		{"spree", shop, "line_items", "product_id", "products", "quantity"},
+		{"redmine", tracker, "journals", "issue_id", "issues", "notes"},
+		{"redmine", tracker, "time_entries", "issue_id", "issues", "hours"},
+	}
+	for _, j := range joinElim {
+		add(j.app, j.schema, "fk-join-elim",
+			fmt.Sprintf("SELECT %s.%s FROM %s INNER JOIN %s ON %s.%s = %s.id",
+				j.child, j.childCol, j.child, j.parent, j.child, j.col, j.parent),
+			fmt.Sprintf("SELECT %s FROM %s", j.childCol, j.child))
+	}
+	for _, j := range joinElim[:5] {
+		add(j.app, j.schema, "left-join-elim",
+			fmt.Sprintf("SELECT %s.%s FROM %s LEFT JOIN %s ON %s.%s = %s.id",
+				j.child, j.childCol, j.child, j.parent, j.child, j.col, j.parent),
+			fmt.Sprintf("SELECT %s FROM %s", j.childCol, j.child))
+	}
+	add("gitlab", vcs, "ljoin-to-ijoin",
+		"SELECT * FROM merge_requests LEFT JOIN projects ON merge_requests.project_id = projects.id",
+		"SELECT * FROM merge_requests INNER JOIN projects ON merge_requests.project_id = projects.id")
+	add("spree", shop, "ljoin-to-ijoin",
+		"SELECT * FROM line_items LEFT JOIN orders ON line_items.order_id = orders.id",
+		"SELECT * FROM line_items INNER JOIN orders ON line_items.order_id = orders.id")
+	add("discourse", forum, "distinct-key",
+		"SELECT DISTINCT id FROM topics",
+		"SELECT id FROM topics")
+	add("redmine", tracker, "distinct-key",
+		"SELECT DISTINCT id FROM issues",
+		"SELECT id FROM issues")
+
+	// --- Group 3 (15 issues): fixable only by WeTune ----------------------
+	// The ORM-generated shapes of Table 1 and §2.1.
+	selfIn := []struct {
+		app           string
+		schema        *sql.Schema
+		table, filter string
+	}{
+		{"gitlab", vcs, "labels", "project_id"},
+		{"gitlab", vcs, "notes", "commit_id"},
+		{"discourse", forum, "topics", "category_id"},
+		{"spree", shop, "orders", "total"},
+		{"redmine", tracker, "issues", "priority"},
+	}
+	for _, sI := range selfIn {
+		add(sI.app, sI.schema, "self-in-filter",
+			fmt.Sprintf("SELECT * FROM %s WHERE id IN (SELECT id FROM %s WHERE %s = 10)",
+				sI.table, sI.table, sI.filter),
+			fmt.Sprintf("SELECT * FROM %s WHERE %s = 10", sI.table, sI.filter))
+	}
+	for _, sI := range selfIn {
+		sub := fmt.Sprintf("SELECT id FROM %s WHERE %s = 10", sI.table, sI.filter)
+		add(sI.app, sI.schema, "dup-in",
+			fmt.Sprintf("SELECT * FROM %s WHERE id IN (%s) AND id IN (%s)", sI.table, sub, sub),
+			fmt.Sprintf("SELECT * FROM %s WHERE id IN (%s)", sI.table, sub))
+	}
+	for _, sI := range selfIn {
+		add(sI.app, sI.schema, "nested-dup-orderby",
+			fmt.Sprintf("SELECT * FROM %s WHERE id IN (SELECT id FROM %s WHERE id IN (SELECT id FROM %s WHERE %s = 10) ORDER BY id ASC)",
+				sI.table, sI.table, sI.table, sI.filter),
+			fmt.Sprintf("SELECT * FROM %s WHERE %s = 10", sI.table, sI.filter))
+	}
+
+	// --- Group 4 (12 issues): not fixable by rule-based rewriting ---------
+	// Predicate rewrites (OR -> UNION, IS NULL transfers), NOT IN, correlated
+	// aggregates — the cases §8.3 reports WeTune cannot handle either.
+	add("gitlab", vcs, "or-to-union",
+		"SELECT * FROM merge_requests WHERE state = 'open' OR author_id = 5",
+		"SELECT * FROM merge_requests WHERE state = 'open' UNION SELECT * FROM merge_requests WHERE author_id = 5")
+	add("gitlab", vcs, "pred-transfer",
+		"SELECT * FROM labels WHERE project_id IS NULL",
+		"SELECT * FROM labels WHERE id IS NULL")
+	add("discourse", forum, "not-in-subq",
+		"SELECT id FROM topics WHERE id NOT IN (SELECT topic_id FROM posts)",
+		"SELECT topics.id FROM topics LEFT JOIN posts ON topics.id = posts.topic_id WHERE posts.id IS NULL")
+	add("discourse", forum, "not-in-subq",
+		"SELECT id FROM users WHERE id NOT IN (SELECT user_id FROM posts)",
+		"SELECT users.id FROM users LEFT JOIN posts ON users.id = posts.user_id WHERE posts.id IS NULL")
+	add("spree", shop, "corr-agg",
+		"SELECT id FROM orders WHERE total = (SELECT MAX(total) FROM orders)",
+		"SELECT id FROM orders ORDER BY total DESC LIMIT 1")
+	add("spree", shop, "corr-agg",
+		"SELECT id FROM products WHERE price = (SELECT MAX(price) FROM products)",
+		"SELECT id FROM products ORDER BY price DESC LIMIT 1")
+	add("redmine", tracker, "agg-groupwise",
+		"SELECT project_id, COUNT(*) AS n FROM issues GROUP BY project_id HAVING COUNT(*) > 10",
+		"SELECT project_id, COUNT(*) AS n FROM issues GROUP BY project_id HAVING COUNT(*) > 10")
+	add("redmine", tracker, "agg-groupwise",
+		"SELECT issue_id, COUNT(*) AS n FROM journals GROUP BY issue_id HAVING COUNT(*) > 3",
+		"SELECT issue_id, COUNT(*) AS n FROM journals GROUP BY issue_id HAVING COUNT(*) > 3")
+	add("gitlab", vcs, "exists-correlated",
+		"SELECT projects.id FROM projects WHERE EXISTS (SELECT 1 FROM merge_requests WHERE merge_requests.project_id = projects.id)",
+		"SELECT DISTINCT projects.id FROM projects INNER JOIN merge_requests ON merge_requests.project_id = projects.id")
+	add("discourse", forum, "exists-correlated",
+		"SELECT users.id FROM users WHERE EXISTS (SELECT 1 FROM posts WHERE posts.user_id = users.id)",
+		"SELECT DISTINCT users.id FROM users INNER JOIN posts ON posts.user_id = users.id")
+	add("spree", shop, "or-to-union",
+		"SELECT * FROM orders WHERE state = 'cart' OR total > 100",
+		"SELECT * FROM orders WHERE state = 'cart' UNION SELECT * FROM orders WHERE total > 100")
+	add("redmine", tracker, "pred-transfer",
+		"SELECT * FROM issues WHERE assignee_id IS NULL",
+		"SELECT * FROM issues WHERE priority IS NULL")
+
+	if len(out) != 50 {
+		panic(fmt.Sprintf("workload: issue corpus has %d entries, want 50", len(out)))
+	}
+	return out
+}

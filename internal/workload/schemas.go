@@ -1,0 +1,276 @@
+// Package workload supplies the evaluation corpora of §2.2 and §8: synthetic
+// web-application schemas with ORM-flavored query generators (standing in
+// for the 8,518 queries collected from 20 GitHub applications), the 50
+// performance-issue queries with their developer-written rewrites, a
+// 232-pair Calcite-test-suite stand-in, and the baseline rewriters
+// ("Calcite-like", "SQL-Server-like") used for comparison.
+package workload
+
+import (
+	"fmt"
+
+	"wetune/internal/sql"
+)
+
+// App is one synthetic application: a schema plus a deterministic query mix.
+type App struct {
+	Name      string
+	Archetype string
+	Schema    *sql.Schema
+	Seed      int64
+}
+
+// Apps returns the 20 synthetic applications (§8.1: the 20 most-starred
+// GitHub web apps). Four schema archetypes cycle across them; the per-app
+// seed varies the generated query mix.
+func Apps() []App {
+	archetypes := []struct {
+		kind  string
+		build func() *sql.Schema
+	}{
+		{"vcs", vcsSchema},          // GitLab-like
+		{"forum", forumSchema},      // Discourse-like
+		{"commerce", shopSchema},    // Spree-like
+		{"projects", trackerSchema}, // Redmine-like
+	}
+	names := []string{
+		"gitlily", "discursive", "shopling", "redpine",
+		"codeharbor", "talkyard", "cartwheel", "planview",
+		"mergeline", "threadbare", "checkoutly", "milestone",
+		"pushpull", "replyall", "basketcase", "ganttlet",
+		"branchout", "flamewar", "pricetag", "kanbanana",
+	}
+	var out []App
+	for i, n := range names {
+		a := archetypes[i%len(archetypes)]
+		out = append(out, App{
+			Name:      n,
+			Archetype: a.kind,
+			Schema:    a.build(),
+			Seed:      int64(1000 + i),
+		})
+	}
+	return out
+}
+
+// vcsSchema models a GitLab-style code host (Table 1's tables included).
+func vcsSchema() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "users",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "email", Type: sql.TString, NotNull: true},
+			{Name: "name", Type: sql.TString},
+			{Name: "state", Type: sql.TString},
+		},
+		PrimaryKey: []string{"id"},
+		Uniques:    [][]string{{"email"}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "projects",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "owner_id", Type: sql.TInt, NotNull: true},
+			{Name: "name", Type: sql.TString},
+			{Name: "visibility", Type: sql.TInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"owner_id"}, RefTable: "users", RefColumns: []string{"id"}}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "labels",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "project_id", Type: sql.TInt},
+			{Name: "title", Type: sql.TString},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "notes",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "type", Type: sql.TString},
+			{Name: "commit_id", Type: sql.TInt},
+			{Name: "author_id", Type: sql.TInt, NotNull: true},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"author_id"}, RefTable: "users", RefColumns: []string{"id"}}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "merge_requests",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "project_id", Type: sql.TInt, NotNull: true},
+			{Name: "author_id", Type: sql.TInt, NotNull: true},
+			{Name: "state", Type: sql.TString},
+			{Name: "title", Type: sql.TString},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []sql.ForeignKey{
+			{Columns: []string{"project_id"}, RefTable: "projects", RefColumns: []string{"id"}},
+			{Columns: []string{"author_id"}, RefTable: "users", RefColumns: []string{"id"}},
+		},
+	})
+	mustValid(s)
+	return s
+}
+
+// forumSchema models a Discourse-style forum.
+func forumSchema() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "users",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "username", Type: sql.TString, NotNull: true},
+			{Name: "trust_level", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+		Uniques:    [][]string{{"username"}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "topics",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "user_id", Type: sql.TInt, NotNull: true},
+			{Name: "category_id", Type: sql.TInt},
+			{Name: "title", Type: sql.TString},
+			{Name: "views", Type: sql.TInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"user_id"}, RefTable: "users", RefColumns: []string{"id"}}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "posts",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "topic_id", Type: sql.TInt, NotNull: true},
+			{Name: "user_id", Type: sql.TInt, NotNull: true},
+			{Name: "like_count", Type: sql.TInt},
+			{Name: "deleted", Type: sql.TBool},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []sql.ForeignKey{
+			{Columns: []string{"topic_id"}, RefTable: "topics", RefColumns: []string{"id"}},
+			{Columns: []string{"user_id"}, RefTable: "users", RefColumns: []string{"id"}},
+		},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "categories",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "name", Type: sql.TString},
+			{Name: "parent_id", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	mustValid(s)
+	return s
+}
+
+// shopSchema models a Spree-style store.
+func shopSchema() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "products",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "sku", Type: sql.TString, NotNull: true},
+			{Name: "price", Type: sql.TInt},
+			{Name: "taxon_id", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+		Uniques:    [][]string{{"sku"}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "orders",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "user_id", Type: sql.TInt},
+			{Name: "state", Type: sql.TString},
+			{Name: "total", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "line_items",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "order_id", Type: sql.TInt, NotNull: true},
+			{Name: "product_id", Type: sql.TInt, NotNull: true},
+			{Name: "quantity", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []sql.ForeignKey{
+			{Columns: []string{"order_id"}, RefTable: "orders", RefColumns: []string{"id"}},
+			{Columns: []string{"product_id"}, RefTable: "products", RefColumns: []string{"id"}},
+		},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "taxons",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "name", Type: sql.TString},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	mustValid(s)
+	return s
+}
+
+// trackerSchema models a Redmine-style project tracker.
+func trackerSchema() *sql.Schema {
+	s := sql.NewSchema()
+	s.AddTable(&sql.TableDef{
+		Name: "projects",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "identifier", Type: sql.TString, NotNull: true},
+			{Name: "status", Type: sql.TInt},
+		},
+		PrimaryKey: []string{"id"},
+		Uniques:    [][]string{{"identifier"}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "issues",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "project_id", Type: sql.TInt, NotNull: true},
+			{Name: "assignee_id", Type: sql.TInt},
+			{Name: "priority", Type: sql.TInt},
+			{Name: "subject", Type: sql.TString},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"project_id"}, RefTable: "projects", RefColumns: []string{"id"}}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "journals",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "issue_id", Type: sql.TInt, NotNull: true},
+			{Name: "notes", Type: sql.TString},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"issue_id"}, RefTable: "issues", RefColumns: []string{"id"}}},
+	})
+	s.AddTable(&sql.TableDef{
+		Name: "time_entries",
+		Columns: []sql.Column{
+			{Name: "id", Type: sql.TInt, NotNull: true},
+			{Name: "issue_id", Type: sql.TInt, NotNull: true},
+			{Name: "hours", Type: sql.TInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sql.ForeignKey{{Columns: []string{"issue_id"}, RefTable: "issues", RefColumns: []string{"id"}}},
+	})
+	mustValid(s)
+	return s
+}
+
+func mustValid(s *sql.Schema) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: bad schema: %v", err))
+	}
+}

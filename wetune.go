@@ -1,0 +1,315 @@
+// Package wetune is a from-scratch Go reproduction of "WeTune: Automatic
+// Discovery and Verification of Query Rewrite Rules" (SIGMOD 2022).
+//
+// WeTune discovers SQL rewrite rules automatically: it enumerates symbolic
+// query-plan templates, pairs them, and searches for the most-relaxed
+// constraint sets under which an SMT-based verifier proves the pair
+// equivalent. Discovered rules rewrite real queries — including the
+// counter-intuitive shapes ORMs generate — that mainstream optimizers miss.
+//
+// This package is the public facade; the machinery lives in internal/
+// packages (see DESIGN.md for the system inventory):
+//
+//	Discover       — enumerate templates and search for rules (§4)
+//	VerifyRule     — the built-in U-expression/FOL/SMT verifier (§5.1)
+//	VerifySPES     — the SPES-style normalizing verifier (§5.2)
+//	NewOptimizer   — rule-driven query rewriting over a schema (§6, §7)
+//	NewDatabase    — the in-memory execution engine used for evaluation
+//
+// The quickstart example:
+//
+//	schema := wetune.MustParseSchema(...)
+//	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
+//	out, applied, _ := opt.OptimizeSQL("SELECT * FROM t WHERE id IN (SELECT id FROM t)")
+package wetune
+
+import (
+	"fmt"
+	"time"
+
+	"wetune/internal/constraint"
+	"wetune/internal/datagen"
+	"wetune/internal/engine"
+	"wetune/internal/enum"
+	"wetune/internal/plan"
+	"wetune/internal/rewrite"
+	"wetune/internal/rules"
+	"wetune/internal/spes"
+	"wetune/internal/sql"
+	"wetune/internal/template"
+	"wetune/internal/verify"
+)
+
+// Re-exported core types.
+type (
+	// Schema describes tables, columns and integrity constraints.
+	Schema = sql.Schema
+	// TableDef is one table's definition.
+	TableDef = sql.TableDef
+	// Column is one column definition.
+	Column = sql.Column
+	// ForeignKey declares a referential constraint.
+	ForeignKey = sql.ForeignKey
+	// Value is a runtime SQL value.
+	Value = sql.Value
+	// Rule is a rewrite rule <q_src, q_dest, C> with Table 7 metadata.
+	Rule = rules.Rule
+	// Plan is a logical query plan.
+	Plan = plan.Node
+	// DB is the in-memory execution engine.
+	DB = engine.DB
+	// Row is one tuple.
+	Row = engine.Row
+)
+
+// Column type constants.
+const (
+	TInt    = sql.TInt
+	TFloat  = sql.TFloat
+	TString = sql.TString
+	TBool   = sql.TBool
+)
+
+// Value constructors.
+var (
+	NewInt    = sql.NewInt
+	NewFloat  = sql.NewFloat
+	NewString = sql.NewString
+	NewBool   = sql.NewBool
+	Null      = sql.Null
+)
+
+// NewSchema creates an empty schema; add tables with AddTable and call
+// Validate before use.
+func NewSchema() *Schema { return sql.NewSchema() }
+
+// ParseSchema parses CREATE TABLE statements into a validated schema.
+func ParseSchema(ddl string) (*Schema, error) { return sql.ParseDDL(ddl) }
+
+// MustParseSchema is ParseSchema that panics on error.
+func MustParseSchema(ddl string) *Schema { return sql.MustParseDDL(ddl) }
+
+// BuiltinRules returns the 35 useful rules of the paper's Table 7 plus the
+// extra rules this implementation's own discovery pipeline found and
+// verified.
+func BuiltinRules() []Rule { return rules.All() }
+
+// Table7Rules returns exactly the paper's Table 7.
+func Table7Rules() []Rule { return rules.Table7() }
+
+// Optimizer rewrites queries with a rule set over a schema.
+type Optimizer struct {
+	rw *rewrite.Rewriter
+}
+
+// NewOptimizer builds an optimizer. Attach a database with UseDB to enable
+// cost-guided choices.
+func NewOptimizer(rs []Rule, schema *Schema) *Optimizer {
+	return &Optimizer{rw: rewrite.NewRewriter(rs, schema)}
+}
+
+// UseDB wires the cost estimator of db into rewrite ranking.
+func (o *Optimizer) UseDB(db *DB) { o.rw.DB = db }
+
+// Applied describes one rewrite step.
+type Applied = rewrite.Applied
+
+// Optimize rewrites a logical plan, returning the improved plan and the rule
+// sequence applied (empty when no rule helps). It explores rewrite chains
+// like the paper's §8.4 flow and picks the best final query.
+func (o *Optimizer) Optimize(p Plan) (Plan, []Applied) {
+	return o.rw.Explore(p, 12, 6)
+}
+
+// OptimizeSQL parses, plans, optimizes and renders back to SQL.
+func (o *Optimizer) OptimizeSQL(query string) (rewritten string, applied []Applied, err error) {
+	p, err := plan.BuildSQL(query, o.rw.Schema)
+	if err != nil {
+		return "", nil, err
+	}
+	out, applied := o.Optimize(p)
+	return plan.ToSQLString(out), applied, nil
+}
+
+// PlanSQL parses and lowers a query against the optimizer's schema.
+func (o *Optimizer) PlanSQL(query string) (Plan, error) {
+	return plan.BuildSQL(query, o.rw.Schema)
+}
+
+// PlanToSQL renders a plan back to SQL text.
+func PlanToSQL(p Plan) string { return plan.ToSQLString(p) }
+
+// VerifyOutcome is the verifier verdict for a rule.
+type VerifyOutcome int
+
+// Verifier verdicts.
+const (
+	// Verified: proven correct.
+	Verified VerifyOutcome = iota
+	// Rejected: not proven (conservatively treated as incorrect).
+	Rejected
+	// Refuted: a finite counterexample witnesses incorrectness.
+	Refuted
+	// Unsupported: operators outside the built-in verifier's scope.
+	Unsupported
+)
+
+func (o VerifyOutcome) String() string {
+	switch o {
+	case Verified:
+		return "verified"
+	case Rejected:
+		return "rejected"
+	case Refuted:
+		return "refuted"
+	case Unsupported:
+		return "unsupported"
+	}
+	return "?"
+}
+
+// VerifyRule checks a rule with the built-in verifier (§5.1): symbol
+// unification, U-expression normalization under constraint lemmas, then a
+// FOL translation decided by the bundled mini SMT solver.
+func VerifyRule(r Rule) VerifyOutcome {
+	rep := verify.Verify(r.Src, r.Dest, r.Constraints)
+	switch rep.Outcome {
+	case verify.Verified:
+		return Verified
+	case verify.Unsupported:
+		return Unsupported
+	}
+	if found, _ := verify.Refute(r.Src, r.Dest, r.Constraints, verify.DefaultRefuteOptions()); found {
+		return Refuted
+	}
+	return Rejected
+}
+
+// VerifySPES checks a rule with the SPES-style verifier (§5.2). The reason
+// explains failures (e.g. integrity-constraint dependence).
+func VerifySPES(r Rule) (ok bool, reason string) {
+	return spes.VerifyRule(r.Src, r.Dest, r.Constraints)
+}
+
+// VerifySQLPair proves the equivalence of two concrete queries over a schema
+// with the built-in verifier (by abstracting the pair into a rule).
+func VerifySQLPair(q1, q2 string, schema *Schema) (VerifyOutcome, error) {
+	p1, err := plan.BuildSQL(q1, schema)
+	if err != nil {
+		return Rejected, err
+	}
+	p2, err := plan.BuildSQL(q2, schema)
+	if err != nil {
+		return Rejected, err
+	}
+	rep := verify.VerifyPlanPair(p1, p2, schema)
+	switch rep.Outcome {
+	case verify.Verified:
+		return Verified, nil
+	case verify.Unsupported:
+		return Unsupported, nil
+	}
+	return Rejected, nil
+}
+
+// DiscoveryOptions configures rule discovery.
+type DiscoveryOptions struct {
+	// MaxTemplateSize bounds template operators (paper: 4; sizes above 2 are
+	// expensive — the paper's full run took 36 hours on 120 cores).
+	MaxTemplateSize int
+	// Budget bounds the wall-clock time (0 = unlimited).
+	Budget time.Duration
+	// Workers for parallel search (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DiscoveryResult reports a discovery run.
+type DiscoveryResult struct {
+	Rules       []DiscoveredRule
+	Templates   int
+	PairsTried  int64
+	ProverCalls int64
+}
+
+// DiscoveredRule is a machine-found rewrite rule.
+type DiscoveredRule struct {
+	Source      string
+	Destination string
+	Constraints string
+	AsRule      Rule
+}
+
+// Discover runs the paper's rule generation pipeline (§4): template
+// enumeration, pairing, constraint enumeration and relaxation, each candidate
+// checked by the built-in verifier.
+func Discover(opts DiscoveryOptions) *DiscoveryResult {
+	size := opts.MaxTemplateSize
+	if size <= 0 {
+		size = 2
+	}
+	res := enum.Search(enum.Options{
+		Templates: template.Enumerate(template.EnumOptions{MaxSize: size}),
+		Prover:    enum.AlgebraicProver,
+		Deadline:  opts.Budget,
+		Workers:   opts.Workers,
+	})
+	out := &DiscoveryResult{
+		Templates:   res.Stats.Templates,
+		PairsTried:  res.Stats.PairsTried,
+		ProverCalls: res.Stats.ProverCalls,
+	}
+	for i, r := range res.Rules {
+		out.Rules = append(out.Rules, DiscoveredRule{
+			Source:      r.Src.String(),
+			Destination: r.Dest.String(),
+			Constraints: r.Constraints.String(),
+			AsRule: Rule{
+				No:          1000 + i,
+				Name:        fmt.Sprintf("discovered-%d", i),
+				Src:         r.Src,
+				Dest:        r.Dest,
+				Constraints: r.Constraints,
+				Verifier:    "W",
+			},
+		})
+	}
+	return out
+}
+
+// NewDatabase creates an empty in-memory database over a schema, with hash
+// indexes on primary and unique keys.
+func NewDatabase(schema *Schema) *DB { return engine.NewDB(schema) }
+
+// PopulateOptions configures synthetic data generation.
+type PopulateOptions = datagen.Options
+
+// Distribution constants for Populate.
+const (
+	Uniform = datagen.Uniform
+	Zipfian = datagen.Zipfian
+)
+
+// Populate fills every table with deterministic synthetic rows respecting
+// the schema's integrity constraints (§8.1's workload generator).
+func Populate(db *DB, opts PopulateOptions) error { return datagen.Populate(db, opts) }
+
+// Execute runs a plan and returns result rows.
+func Execute(db *DB, p Plan, params ...Value) ([]Row, error) {
+	res, err := db.Execute(p, params)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// EstimateCost returns the engine's cost estimate for a plan (the stand-in
+// for EXPLAIN in §6).
+func EstimateCost(db *DB, p Plan) float64 { return db.EstimateCost(p) }
+
+// ReduceRules removes rules made redundant by compositions of the others
+// (§7), using each rule's own probing query.
+func ReduceRules(rs []Rule) (kept, removed []Rule) { return rewrite.Reduce(rs) }
+
+// internal guard: the constraint package must remain reachable for users
+// building custom rules via the re-exported types.
+var _ = constraint.RelEq
