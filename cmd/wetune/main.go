@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	wetune discover [-size N] [-budget 30s]     run rule discovery
+//	wetune discover [-size N] [-budget 30s] [-workers N] [-cache FILE] [-progress]
+//	                                            run rule discovery (Ctrl-C cancels;
+//	                                            -cache persists proof verdicts across runs)
 //	wetune rules                                print the Table 7 rule library
 //	wetune verify                               verify the rule library with both verifiers
 //	wetune rewrite -q "SELECT ..."              rewrite one query over the demo schema
@@ -14,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"wetune"
 	"wetune/internal/bench"
+	"wetune/internal/pipeline"
 	"wetune/internal/rules"
 	"wetune/internal/spes"
 	"wetune/internal/verify"
@@ -55,14 +60,46 @@ func usage() {
 func cmdDiscover(args []string) {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	size := fs.Int("size", 2, "max template size (paper uses 4; expensive above 2)")
-	budget := fs.Duration("budget", 60*time.Second, "wall-clock budget")
+	budget := fs.Duration("budget", 60*time.Second, "wall-clock budget (interrupts in-flight proofs)")
+	workers := fs.Int("workers", 0, "search workers (0 = GOMAXPROCS)")
+	cacheFile := fs.String("cache", "", "proof-cache file: verdicts load before and persist after, so repeated runs re-prove nothing")
+	progress := fs.Bool("progress", false, "print per-stage progress while searching")
 	fs.Parse(args)
 
-	res := wetune.Discover(wetune.DiscoveryOptions{MaxTemplateSize: *size, Budget: *budget})
-	fmt.Printf("templates: %d; pairs tried: %d; prover calls: %d; rules: %d\n",
-		res.Templates, res.PairsTried, res.ProverCalls, len(res.Rules))
+	if *cacheFile != "" {
+		if err := pipeline.Shared().LoadFile(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "cache load:", err)
+			os.Exit(1)
+		}
+	}
+	// Ctrl-C cancels the run; the rules found so far are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := wetune.DiscoveryOptions{
+		MaxTemplateSize: *size,
+		Budget:          *budget,
+		Workers:         *workers,
+		Context:         ctx,
+	}
+	if *progress {
+		opts.Progress = func(p wetune.DiscoveryProgress) {
+			fmt.Fprintf(os.Stderr, "[%s] templates=%d pairs=%d/%d prover=%d cache-hits=%d rules=%d %.1fs\n",
+				p.Stage, p.Stats.Templates, p.Stats.PairsTried, p.Stats.PairsGenerated,
+				p.Stats.ProverCalls, p.Stats.CacheHits, p.Stats.RulesFound, p.Stats.Elapsed.Seconds())
+		}
+	}
+	res := wetune.Discover(opts)
+	fmt.Printf("templates: %d; pairs tried: %d (%d skipped); prover calls: %d; cache hits: %d; rules: %d; elapsed: %v\n",
+		res.Templates, res.PairsTried, res.Stats.PairsSkipped, res.ProverCalls, res.CacheHits, len(res.Rules),
+		res.Stats.Elapsed.Round(time.Millisecond))
 	for i, r := range res.Rules {
 		fmt.Printf("%4d  %s\n      => %s\n      under %s\n", i+1, r.Source, r.Destination, r.Constraints)
+	}
+	if *cacheFile != "" {
+		if err := pipeline.Shared().SaveFile(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "cache save:", err)
+			os.Exit(1)
+		}
 	}
 }
 

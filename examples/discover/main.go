@@ -1,6 +1,10 @@
 // Discover: run the paper's rule-generation pipeline (§4) at laptop scale
 // and print the machine-found rewrite rules with their most-relaxed
 // constraint sets.
+//
+// The run is budgeted and cancellable: the budget interrupts the proof in
+// flight (not just the next pair boundary), and a second pass over the same
+// templates is answered from the shared proof cache without re-proving.
 package main
 
 import (
@@ -21,9 +25,16 @@ func main() {
 	res := wetune.Discover(wetune.DiscoveryOptions{
 		MaxTemplateSize: *size,
 		Budget:          *budget,
+		Progress: func(p wetune.DiscoveryProgress) {
+			if p.Stage == "done" {
+				fmt.Printf("  stage timings: enumeration %v, total %v\n",
+					p.Stats.TemplateElapsed.Round(time.Millisecond),
+					p.Stats.Elapsed.Round(time.Millisecond))
+			}
+		},
 	})
-	fmt.Printf("templates: %d, pairs tried: %d, verifier calls: %d\n",
-		res.Templates, res.PairsTried, res.ProverCalls)
+	fmt.Printf("templates: %d, pairs tried: %d, verifier calls: %d, cache hits: %d\n",
+		res.Templates, res.PairsTried, res.ProverCalls, res.CacheHits)
 	fmt.Printf("discovered %d rules:\n\n", len(res.Rules))
 	for i, r := range res.Rules {
 		fmt.Printf("%3d. %s\n  => %s\n     under %s\n\n", i+1, r.Source, r.Destination, r.Constraints)
@@ -38,4 +49,10 @@ func main() {
 		}
 	}
 	fmt.Printf("re-verification: %d/%d rules verified\n", verified, len(res.Rules))
+
+	// A warm re-run over the same template set reuses every verdict from the
+	// shared proof cache: same rules, no prover calls.
+	warm := wetune.Discover(wetune.DiscoveryOptions{MaxTemplateSize: *size, Budget: *budget})
+	fmt.Printf("warm re-run: %d rules, %d prover calls, %d cache hits\n",
+		len(warm.Rules), warm.ProverCalls, warm.CacheHits)
 }

@@ -86,6 +86,11 @@ func less(a, b template.Sym) bool {
 	return a.ID < b.ID
 }
 
+// Args returns the constraint's symbol arguments (length = the kind's arity).
+func (c C) Args() []template.Sym {
+	return append([]template.Sym(nil), c.Syms[:c.Kind.arity()]...)
+}
+
 func (c C) String() string {
 	n := c.Kind.arity()
 	parts := make([]string, n)

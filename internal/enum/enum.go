@@ -1,42 +1,34 @@
-// Package enum implements WeTune's rule search (§4.3, Algorithm 1): pair the
-// enumerated plan templates, keep pairs whose destination is no more complex
-// than the source, enumerate the candidate constraint set C*, and relax it to
-// find most-relaxed constraint sets under which the verifier proves the pair
-// equivalent.
+// Package enum is the classic entry point to WeTune's rule search (§4.3,
+// Algorithm 1): pair the enumerated plan templates, keep pairs whose
+// destination is no more complex than the source, enumerate the candidate
+// constraint set C*, and relax it to find most-relaxed constraint sets under
+// which the verifier proves the pair equivalent.
 //
-// Provability is monotone in the constraint set (constraints only add
-// hypotheses), so most-relaxed sets are minimal provable subsets of C*. The
-// searcher exploits this with deletion-based minimization seeded from several
-// deletion orders — each order yields one minimal set, mirroring the paper's
-// SearchRelaxed with the closure/implication pruning of §4.3 (constraints
-// implied by the rest of the set are removed without a verifier call).
+// The search machinery itself lives in internal/pipeline (staged
+// orchestration, bounded worker pools, context cancellation, proof caching);
+// Search and SearchPair are thin adapters kept for their historical
+// signatures. New code that needs cancellation or progress reporting should
+// use SearchCtx/SearchPairCtx or the pipeline package directly.
 package enum
 
 import (
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"context"
+	"reflect"
 	"time"
 
 	"wetune/internal/constraint"
+	"wetune/internal/pipeline"
 	"wetune/internal/template"
-	"wetune/internal/verify"
 )
 
 // Rule is a discovered rewrite rule <q_src, q_dest, C>.
-type Rule struct {
-	Src         *template.Node
-	Dest        *template.Node
-	Constraints *constraint.Set
-}
+type Rule = pipeline.Rule
 
-// String renders the rule in Table 7's flattened form.
-func (r Rule) String() string {
-	return r.Src.String() + "  =>  " + r.Dest.String() + "  under " + r.Constraints.String()
-}
-
-// Prover decides whether src and dest are equivalent under cs.
+// Prover decides whether src and dest are equivalent under cs. This is the
+// historical context-unaware signature; the built-in DefaultProver and
+// AlgebraicProver are recognized by Search and upgraded to their
+// context-aware pipeline counterparts, so deadlines interrupt their in-flight
+// proofs. Custom provers are cancelled between calls only.
 type Prover func(src, dest *template.Node, cs *constraint.Set) bool
 
 // Options configures the search.
@@ -58,26 +50,24 @@ type Options struct {
 	DisablePruning bool
 	// Deadline bounds the whole search wall-clock; zero means unlimited.
 	// The paper's full size-4 run took 36 hours on 120 cores — sweeps at
-	// interactive scale need a budget.
+	// interactive scale need a budget. With a deadline set, in-flight proofs
+	// of the built-in provers are interrupted, not just pair boundaries.
 	Deadline time.Duration
+	// Cache shares proof verdicts with other searches and runs (see
+	// pipeline.Shared); nil uses a fresh per-run cache.
+	Cache *pipeline.ProofCache
 }
 
 // DefaultProver verifies with the built-in verifier's algebraic path plus a
 // small SMT budget.
 func DefaultProver(src, dest *template.Node, cs *constraint.Set) bool {
-	opts := verify.DefaultOptions()
-	opts.SMT.MaxNodes = 20000
-	rep := verify.VerifyOpts(src, dest, cs, opts)
-	return rep.Outcome == verify.Verified
+	return pipeline.DefaultProver(context.Background(), src, dest, cs)
 }
 
 // AlgebraicProver uses only the algebraic normalization path (fast; used for
 // large sweeps and the ablation comparison).
 func AlgebraicProver(src, dest *template.Node, cs *constraint.Set) bool {
-	opts := verify.DefaultOptions()
-	opts.SkipSMT = true
-	rep := verify.VerifyOpts(src, dest, cs, opts)
-	return rep.Outcome == verify.Verified
+	return pipeline.AlgebraicProver(context.Background(), src, dest, cs)
 }
 
 // Stats reports search effort.
@@ -86,6 +76,7 @@ type Stats struct {
 	PairsTried   int64
 	PairsSkipped int64
 	ProverCalls  int64
+	CacheHits    int64
 	RulesFound   int64
 }
 
@@ -95,405 +86,101 @@ type Result struct {
 	Stats Stats
 }
 
-func (o *Options) fill() {
-	if o.Prover == nil {
-		o.Prover = DefaultProver
+// toCtxProver upgrades the built-in provers to their context-aware pipeline
+// forms and wraps custom ones.
+func toCtxProver(p Prover) pipeline.Prover {
+	if p == nil {
+		return pipeline.DefaultProver
 	}
-	if o.MaxProverCallsPerPair == 0 {
-		o.MaxProverCallsPerPair = 500
+	switch reflect.ValueOf(p).Pointer() {
+	case reflect.ValueOf(DefaultProver).Pointer():
+		return pipeline.DefaultProver
+	case reflect.ValueOf(AlgebraicProver).Pointer():
+		return pipeline.AlgebraicProver
 	}
-	if o.MaxConstraints == 0 {
-		o.MaxConstraints = 90
+	return pipeline.LegacyProver(p)
+}
+
+func (o Options) pipelineOptions() pipeline.Options {
+	// nil templates historically meant "nothing to pair", not "enumerate".
+	tpls := o.Templates
+	if tpls == nil {
+		tpls = []*template.Node{}
 	}
-	if o.DeletionOrders == 0 {
-		o.DeletionOrders = 3
+	return pipeline.Options{
+		Templates:             tpls,
+		Prover:                toCtxProver(o.Prover),
+		MaxProverCallsPerPair: o.MaxProverCallsPerPair,
+		MaxConstraints:        o.MaxConstraints,
+		DeletionOrders:        o.DeletionOrders,
+		Workers:               o.Workers,
+		DisablePruning:        o.DisablePruning,
+		Cache:                 o.Cache,
 	}
 }
 
-// Search runs Algorithm 1 over all template pairs.
+func fromPipelineStats(ps pipeline.Stats) Stats {
+	return Stats{
+		Templates:    ps.Templates,
+		PairsTried:   ps.PairsTried,
+		PairsSkipped: ps.PairsSkipped,
+		ProverCalls:  ps.ProverCalls,
+		CacheHits:    ps.CacheHits,
+		RulesFound:   ps.RulesFound,
+	}
+}
+
+// Search runs Algorithm 1 over all template pairs. Options.Deadline, when
+// set, bounds the wall clock via a context that interrupts in-flight proofs.
 func Search(opts Options) *Result {
-	opts.fill()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
 	}
-
-	type pair struct{ src, dest *template.Node }
-	var pairs []pair
-	for _, src := range opts.Templates {
-		for _, dest := range opts.Templates {
-			if !dest.NotMoreOpsThan(src) {
-				continue
-			}
-			pairs = append(pairs, pair{src, renameApart(src, dest)})
-		}
-	}
-
-	res := &Result{}
-	res.Stats.Templates = len(opts.Templates)
-	start := time.Now()
-	expired := func() bool {
-		return opts.Deadline > 0 && time.Since(start) > opts.Deadline
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	ch := make(chan pair)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range ch {
-				if expired() {
-					atomic.AddInt64(&res.Stats.PairsSkipped, 1)
-					continue
-				}
-				rules := searchPair(p.src, p.dest, opts, &res.Stats)
-				if len(rules) > 0 {
-					mu.Lock()
-					res.Rules = append(res.Rules, rules...)
-					mu.Unlock()
-					atomic.AddInt64(&res.Stats.RulesFound, int64(len(rules)))
-				}
-			}
-		}()
-	}
-	for _, p := range pairs {
-		ch <- p
-	}
-	close(ch)
-	wg.Wait()
-	sortRules(res.Rules)
-	return res
+	return SearchCtx(ctx, opts)
 }
 
-// renameApart offsets dest's symbol IDs above src's so that the pair shares
-// no symbols; constraints tie them back together.
-func renameApart(src, dest *template.Node) *template.Node {
-	max := map[template.SymKind]int{}
-	for _, s := range src.Symbols() {
-		k := s.Kind
-		if k == template.KAttrsOf {
-			k = template.KRel
-		}
-		if s.ID >= max[k] {
-			max[k] = s.ID + 1
-		}
-	}
-	m := map[template.Sym]template.Sym{}
-	for _, s := range dest.Symbols() {
-		if s.Kind == template.KAttrsOf {
-			continue
-		}
-		m[s] = template.Sym{Kind: s.Kind, ID: s.ID + max[s.Kind]}
-	}
-	return dest.Substitute(m)
+// SearchCtx is Search under an explicit context; cancelling it stops pair
+// generation, aborts the proof in flight, and returns the rules found so far
+// with partial stats. Options.Deadline is ignored (bound the ctx instead).
+func SearchCtx(ctx context.Context, opts Options) *Result {
+	res := pipeline.Run(ctx, opts.pipelineOptions())
+	out := &Result{Rules: res.Rules, Stats: fromPipelineStats(res.Stats)}
+	// Historical accounting: templates reflect the input slice even when
+	// empty search options were passed.
+	out.Stats.Templates = len(opts.Templates)
+	return out
 }
 
 // SearchPair runs the constraint relaxation for one template pair; exported
 // for targeted tests and the CLI. The destination's symbols must already be
 // distinct from the source's.
 func SearchPair(src, dest *template.Node, opts Options) []Rule {
-	opts.fill()
-	var st Stats
-	return searchPair(src, dest, opts, &st)
+	return SearchPairCtx(context.Background(), src, dest, opts)
 }
 
-func searchPair(src, dest *template.Node, opts Options, st *Stats) []Rule {
-	cstar := filterRefAttrs(constraint.Enumerate(src, dest), src, dest)
-	if cstar.Len() > opts.MaxConstraints {
-		atomic.AddInt64(&st.PairsSkipped, 1)
-		return nil
-	}
-	atomic.AddInt64(&st.PairsTried, 1)
-	s := &relaxer{
-		src: src, dest: dest,
-		prover: opts.Prover,
-		budget: opts.MaxProverCallsPerPair,
-		memo:   map[string]bool{},
-		prune:  !opts.DisablePruning,
-		stats:  st,
-	}
-	seen := map[string]bool{}
-	var rules []Rule
-	// C* contains mutually conflicting attribute-source choices
-	// (SubAttrs(a, a_r) for several r); the paper restricts the search to
-	// non-conflicting subsets. We start one minimization per plausible
-	// source assignment.
-	for _, start := range sourceVariants(cstar, src, dest) {
-		if !s.prove(start) {
-			continue
-		}
-		for ord := 0; ord < opts.DeletionOrders; ord++ {
-			minimal, ok := s.minimize(start, ord)
-			if !ok {
-				return rules // budget exhausted: keep what we have
-			}
-			key := minimal.Key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			if !destCovered(src, dest, minimal) {
-				continue
-			}
-			if trivialRule(src, dest, minimal) {
-				continue
-			}
-			rules = append(rules, Rule{Src: src, Dest: dest, Constraints: minimal})
-		}
-	}
+// SearchPairCtx is SearchPair under an explicit context.
+func SearchPairCtx(ctx context.Context, src, dest *template.Node, opts Options) []Rule {
+	rules, _ := pipeline.RunPair(ctx, src, dest, opts.pipelineOptions())
 	return rules
 }
 
-// sourceVariants splits C* into non-conflicting starting sets: for each
-// attribute symbol with several SubAttrs(a, a_r) candidates, pick one
-// relation source per variant, guided by where the attribute occurs in the
-// templates. The cartesian product is capped.
-func sourceVariants(cstar *constraint.Set, src, dest *template.Node) []*constraint.Set {
-	// Structural candidates: the relations under the operator that uses a.
-	structural := map[template.Sym]map[template.Sym]bool{}
-	addCand := func(a template.Sym, rels []template.Sym) {
-		if structural[a] == nil {
-			structural[a] = map[template.Sym]bool{}
-		}
-		for _, r := range rels {
-			structural[a][r] = true
-		}
-	}
-	for _, t := range []*template.Node{src, dest} {
-		t.Walk(func(n *template.Node) {
-			switch n.Op {
-			case template.OpProj, template.OpSel:
-				addCand(n.Attrs, n.Children[0].RelSyms())
-			case template.OpInSub:
-				addCand(n.Attrs, n.Children[0].RelSyms())
-			case template.OpIJoin, template.OpLJoin, template.OpRJoin:
-				addCand(n.Attrs, n.Children[0].RelSyms())
-				addCand(n.Attrs2, n.Children[1].RelSyms())
-			case template.OpAgg:
-				addCand(n.Attrs, n.Children[0].RelSyms())
-				addCand(n.Attrs2, n.Children[0].RelSyms())
-			}
-		})
-	}
-	// Collect the SubAttrs(a, a_r) members of C* grouped by attribute.
-	type srcChoice struct {
-		attr template.Sym
-		rels []template.Sym
-	}
-	var choices []srcChoice
-	grouped := map[template.Sym][]template.Sym{}
-	for _, c := range cstar.Items() {
-		if c.Kind != constraint.SubAttrs || c.Syms[1].Kind != template.KAttrsOf {
-			continue
-		}
-		rel := template.Sym{Kind: template.KRel, ID: c.Syms[1].ID}
-		if cands := structural[c.Syms[0]]; cands != nil && !cands[rel] {
-			continue // structurally impossible source
-		}
-		grouped[c.Syms[0]] = append(grouped[c.Syms[0]], rel)
-	}
-	for a, rels := range grouped {
-		choices = append(choices, srcChoice{attr: a, rels: rels})
-	}
-	sort.Slice(choices, func(i, j int) bool {
-		return choices[i].attr.ID < choices[j].attr.ID
-	})
-	// Base set: everything except attribute-source SubAttrs.
-	base := constraint.NewSet()
-	for _, c := range cstar.Items() {
-		if c.Kind == constraint.SubAttrs && c.Syms[1].Kind == template.KAttrsOf {
-			continue
-		}
-		base = base.Union(constraint.NewSet(c))
-	}
-	variants := []*constraint.Set{base}
-	for _, ch := range choices {
-		var next []*constraint.Set
-		for _, v := range variants {
-			for _, rel := range ch.rels {
-				next = append(next, v.Union(constraint.NewSet(
-					constraint.New(constraint.SubAttrs, ch.attr, template.AttrsOf(rel)))))
-			}
-			if len(ch.rels) == 0 {
-				next = append(next, v)
-			}
-		}
-		if len(next) > 6 {
-			next = next[:6]
-		}
-		variants = next
-	}
-	return variants
+// searchPair preserves the historical test seam: one pair, stats accumulated
+// into st.
+func searchPair(src, dest *template.Node, opts Options, st *Stats) []Rule {
+	rules, ps := pipeline.RunPair(context.Background(), src, dest, opts.pipelineOptions())
+	st.PairsTried += ps.PairsTried
+	st.PairsSkipped += ps.PairsSkipped
+	st.ProverCalls += ps.ProverCalls
+	st.CacheHits += ps.CacheHits
+	st.RulesFound += ps.RulesFound
+	return rules
 }
 
-// filterRefAttrs keeps only RefAttrs candidates whose attribute pair occurs
-// together in a join or IN-subquery of either template (plus symmetric
-// orientations). Unrestricted RefAttrs enumeration is quartic in the symbol
-// count and almost never useful elsewhere.
-func filterRefAttrs(cs *constraint.Set, src, dest *template.Node) *constraint.Set {
-	hinted := map[[2]template.Sym]bool{}
-	addHint := func(a, b template.Sym) {
-		hinted[[2]template.Sym{a, b}] = true
-		hinted[[2]template.Sym{b, a}] = true
-	}
-	for _, t := range []*template.Node{src, dest} {
-		t.Walk(func(n *template.Node) {
-			switch n.Op {
-			case template.OpIJoin, template.OpLJoin, template.OpRJoin:
-				addHint(n.Attrs, n.Attrs2)
-			case template.OpInSub:
-				// Pair the IN attributes with any projection attrs on the
-				// subquery side.
-				n.Children[1].Walk(func(m *template.Node) {
-					if m.Op == template.OpProj {
-						addHint(n.Attrs, m.Attrs)
-					}
-					if m.Op == template.OpInput {
-						addHint(n.Attrs, template.AttrsOf(m.Rel))
-					}
-				})
-			}
-		})
-	}
-	out := constraint.NewSet()
-	for _, c := range cs.Items() {
-		if c.Kind == constraint.RefAttrs && !hinted[[2]template.Sym{c.Syms[1], c.Syms[3]}] {
-			continue
-		}
-		out = out.Union(constraint.NewSet(c))
-	}
-	return out
-}
-
-type relaxer struct {
-	src, dest *template.Node
-	prover    Prover
-	budget    int
-	calls     int
-	exhausted bool
-	memo      map[string]bool
-	prune     bool
-	stats     *Stats
-}
-
-func (s *relaxer) prove(cs *constraint.Set) bool {
-	key := cs.Key()
-	if v, ok := s.memo[key]; ok {
-		return v
-	}
-	if s.calls >= s.budget {
-		s.exhausted = true
-		return false
-	}
-	s.calls++
-	atomic.AddInt64(&s.stats.ProverCalls, 1)
-	v := s.prover(s.src, s.dest, cs)
-	s.memo[key] = v
-	return v
-}
-
-// minimize performs deletion-based minimization in the given order variant.
-// ok=false signals budget exhaustion (result unusable).
-func (s *relaxer) minimize(cstar *constraint.Set, order int) (*constraint.Set, bool) {
-	items := cstar.Items()
-	switch order % 3 {
-	case 1:
-		for i, j := 0, len(items)-1; i < j; i, j = i+1, j-1 {
-			items[i], items[j] = items[j], items[i]
-		}
-	case 2:
-		sort.SliceStable(items, func(i, j int) bool { return items[i].Kind > items[j].Kind })
-	}
-	cur := constraint.NewSet(items...)
-	for _, c := range items {
-		if !cur.Has(c) {
-			continue
-		}
-		without := cur.Without(c)
-		if s.prune && constraint.Implies(without, c) {
-			// Implied member: removal is semantically free (§4.3 closure
-			// pruning) — no verifier call needed.
-			cur = without
-			continue
-		}
-		if s.prove(without) {
-			cur = without
-		}
-		if s.exhausted {
-			return nil, false
-		}
-	}
-	return cur, true
-}
-
-// trivialRule reports that the destination is identical to the source after
-// symbol unification — applying it would be a no-op.
-func trivialRule(src, dest *template.Node, cs *constraint.Set) bool {
-	cl := constraint.Closure(cs)
-	reps := map[template.Sym]template.Sym{}
-	for _, kind := range []constraint.Kind{
-		constraint.RelEq, constraint.AttrsEq, constraint.PredEq, constraint.AggrEq,
-	} {
-		for sym, rep := range constraint.UnionFind(cl, kind) {
-			if sym != rep {
-				reps[sym] = rep
-			}
-		}
-	}
-	return src.Substitute(reps).String() == dest.Substitute(reps).String()
-}
-
-// destCovered checks that every symbol of the destination template is either
-// shared with the source or tied to a source symbol by an equivalence
-// constraint — otherwise the rewrite could not instantiate the destination.
+// destCovered reports whether the destination template is instantiable from
+// the source under cs; see pipeline.DestCovered.
 func destCovered(src, dest *template.Node, cs *constraint.Set) bool {
-	srcSyms := map[template.Sym]bool{}
-	for _, sy := range src.Symbols() {
-		srcSyms[sy] = true
-	}
-	cl := constraint.Closure(cs)
-	reps := map[constraint.Kind]map[template.Sym]template.Sym{
-		constraint.RelEq:   constraint.UnionFind(cl, constraint.RelEq),
-		constraint.AttrsEq: constraint.UnionFind(cl, constraint.AttrsEq),
-		constraint.PredEq:  constraint.UnionFind(cl, constraint.PredEq),
-		constraint.AggrEq:  constraint.UnionFind(cl, constraint.AggrEq),
-	}
-	kindFor := map[template.SymKind]constraint.Kind{
-		template.KRel:   constraint.RelEq,
-		template.KAttrs: constraint.AttrsEq,
-		template.KPred:  constraint.PredEq,
-		template.KFunc:  constraint.AggrEq,
-	}
-	for _, sy := range dest.Symbols() {
-		if srcSyms[sy] || sy.Kind == template.KAttrsOf {
-			continue
-		}
-		rep, ok := reps[kindFor[sy.Kind]][sy]
-		if !ok {
-			return false
-		}
-		covered := false
-		for ss := range srcSyms {
-			if ss.Kind != sy.Kind {
-				continue
-			}
-			if r2, ok := reps[kindFor[sy.Kind]][ss]; ok && r2 == rep {
-				covered = true
-				break
-			}
-		}
-		if !covered {
-			return false
-		}
-	}
-	return true
-}
-
-func sortRules(rules []Rule) {
-	sort.Slice(rules, func(i, j int) bool {
-		a := rules[i].Src.String() + "|" + rules[i].Dest.String() + "|" + rules[i].Constraints.Key()
-		b := rules[j].Src.String() + "|" + rules[j].Dest.String() + "|" + rules[j].Constraints.Key()
-		return a < b
-	})
+	return pipeline.DestCovered(src, dest, cs)
 }

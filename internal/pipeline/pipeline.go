@@ -1,0 +1,293 @@
+// Package pipeline is the staged rule-discovery engine behind WeTune's rule
+// generation (§4). It decomposes the search into composable stages —
+//
+//	template enumeration → pair generation → constraint-set
+//	enumeration/relaxation → verification
+//
+// — each running on a bounded worker pool with context.Context cancellation
+// plumbed end to end (a cancelled context interrupts the in-flight SMT proof,
+// not just the next pair boundary), per-stage counters, and a
+// concurrency-safe proof memo cache keyed by canonical rule fingerprint so
+// that enumeration, rule reduction and repeated runs reuse verdicts instead
+// of re-invoking the U-expression/FOL/SMT chain.
+//
+// internal/enum's Search/SearchPair, wetune.Discover and the CLI are thin
+// adapters over Run. Determinism contract: with the same options and an
+// uncancelled context, the discovered rule set is identical across runs,
+// worker counts, and cache temperatures (a warm cache lowers prover calls but
+// never alters the search trajectory).
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wetune/internal/constraint"
+	"wetune/internal/template"
+	"wetune/internal/verify"
+)
+
+// Rule is a discovered rewrite rule <q_src, q_dest, C>.
+type Rule struct {
+	Src         *template.Node
+	Dest        *template.Node
+	Constraints *constraint.Set
+}
+
+// String renders the rule in Table 7's flattened form.
+func (r Rule) String() string {
+	return r.Src.String() + "  =>  " + r.Dest.String() + "  under " + r.Constraints.String()
+}
+
+// Prover decides whether src and dest are equivalent under cs. Provers must
+// honor ctx: when it is cancelled mid-proof they return promptly (the verdict
+// is then discarded, not cached).
+type Prover func(ctx context.Context, src, dest *template.Node, cs *constraint.Set) bool
+
+// DefaultProver verifies with the built-in verifier's algebraic path plus a
+// small SMT budget, honoring ctx inside the solver loop.
+func DefaultProver(ctx context.Context, src, dest *template.Node, cs *constraint.Set) bool {
+	opts := verify.DefaultOptions()
+	opts.Context = ctx
+	opts.SMT.MaxNodes = 20000
+	return verify.VerifyOpts(src, dest, cs, opts).Outcome == verify.Verified
+}
+
+// AlgebraicProver uses only the algebraic normalization path (fast; used for
+// large sweeps and the ablation comparison).
+func AlgebraicProver(ctx context.Context, src, dest *template.Node, cs *constraint.Set) bool {
+	opts := verify.DefaultOptions()
+	opts.Context = ctx
+	opts.SkipSMT = true
+	return verify.VerifyOpts(src, dest, cs, opts).Outcome == verify.Verified
+}
+
+// LegacyProver adapts a context-unaware prover. Such provers are still
+// cancelled between calls, just not mid-proof.
+func LegacyProver(p func(src, dest *template.Node, cs *constraint.Set) bool) Prover {
+	return func(_ context.Context, src, dest *template.Node, cs *constraint.Set) bool {
+		return p(src, dest, cs)
+	}
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Templates to pair; if nil, template.Enumerate(MaxTemplateSize) runs as
+	// the pipeline's first stage.
+	Templates []*template.Node
+	// MaxTemplateSize bounds enumerated templates when Templates is nil
+	// (default 2; the paper's size-4 run took 36 hours on 120 cores).
+	MaxTemplateSize int
+	// Prover; defaults to DefaultProver.
+	Prover Prover
+	// MaxProverCallsPerPair bounds the relaxation per template pair. Cache
+	// hits charge the budget too, keeping warm and cold trajectories equal.
+	MaxProverCallsPerPair int
+	// MaxConstraints skips pairs whose C* is larger.
+	MaxConstraints int
+	// DeletionOrders is the number of different minimization orders tried
+	// (each can surface a different most-relaxed set). Default 3.
+	DeletionOrders int
+	// Workers bounds pair-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// DisablePruning turns off the implication pruning (ablation benchmark).
+	DisablePruning bool
+	// Cache shares proof verdicts across stages and runs; nil uses a fresh
+	// private cache (verdicts still dedupe isomorphic pairs within the run).
+	Cache *ProofCache
+	// Progress, when set, receives a stats snapshot at every stage boundary
+	// and every ProgressEvery completed pairs. Calls are serialized.
+	Progress func(Snapshot)
+	// ProgressEvery is the pair interval between Progress calls (default 32).
+	ProgressEvery int
+}
+
+func (o *Options) fill() {
+	if o.MaxTemplateSize <= 0 {
+		o.MaxTemplateSize = 2
+	}
+	if o.Prover == nil {
+		o.Prover = DefaultProver
+	}
+	if o.MaxProverCallsPerPair == 0 {
+		o.MaxProverCallsPerPair = 500
+	}
+	if o.MaxConstraints == 0 {
+		o.MaxConstraints = 90
+	}
+	if o.DeletionOrders == 0 {
+		o.DeletionOrders = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 32
+	}
+	if o.Cache == nil {
+		o.Cache = NewProofCache()
+	}
+}
+
+// Stats reports per-stage search effort.
+type Stats struct {
+	// Stage 1: template enumeration.
+	Templates       int
+	TemplateElapsed time.Duration
+	// Stage 2: pair generation.
+	PairsGenerated int64
+	// Stage 3: constraint enumeration/relaxation.
+	PairsTried   int64
+	PairsSkipped int64
+	// Stage 4: verification (prover calls are cache misses).
+	ProverCalls int64
+	CacheHits   int64
+	// Outcome.
+	RulesFound int64
+	Elapsed    time.Duration
+}
+
+// Snapshot is a point-in-time view of the run handed to Progress callbacks.
+type Snapshot struct {
+	// Stage is the pipeline stage just entered or advanced: "templates",
+	// "pairs", "search", "done".
+	Stage string
+	Stats Stats
+}
+
+// counters is the concurrent backing store for Stats.
+type counters struct {
+	templates       int
+	templateElapsed time.Duration
+	pairsGenerated  atomic.Int64
+	pairsTried      atomic.Int64
+	pairsSkipped    atomic.Int64
+	proverCalls     atomic.Int64
+	cacheHits       atomic.Int64
+	rulesFound      atomic.Int64
+	start           time.Time
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Templates:       c.templates,
+		TemplateElapsed: c.templateElapsed,
+		PairsGenerated:  c.pairsGenerated.Load(),
+		PairsTried:      c.pairsTried.Load(),
+		PairsSkipped:    c.pairsSkipped.Load(),
+		ProverCalls:     c.proverCalls.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		RulesFound:      c.rulesFound.Load(),
+		Elapsed:         time.Since(c.start),
+	}
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	Rules []Rule
+	Stats Stats
+}
+
+type pair struct{ src, dest *template.Node }
+
+// Run executes the discovery pipeline. A cancelled or expired ctx stops pair
+// generation, aborts in-flight proofs, and returns promptly with the rules
+// found so far and partial stats.
+func Run(ctx context.Context, opts Options) *Result {
+	opts.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ct := &counters{start: time.Now()}
+	var progressMu sync.Mutex
+	emit := func(stage string) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		opts.Progress(Snapshot{Stage: stage, Stats: ct.snapshot()})
+		progressMu.Unlock()
+	}
+
+	// Stage 1: template enumeration.
+	emit("templates")
+	templates := opts.Templates
+	if templates == nil {
+		templates = template.Enumerate(template.EnumOptions{MaxSize: opts.MaxTemplateSize})
+	}
+	ct.templates = len(templates)
+	ct.templateElapsed = time.Since(ct.start)
+
+	// Stage 2: pair generation, streamed so cancellation needs no drain of a
+	// quadratic backlog.
+	emit("pairs")
+	pairs := make(chan pair)
+	go func() {
+		defer close(pairs)
+		for _, src := range templates {
+			for _, dest := range templates {
+				if !dest.NotMoreOpsThan(src) {
+					continue
+				}
+				p := pair{src, RenameApart(src, dest)}
+				select {
+				case pairs <- p:
+					ct.pairsGenerated.Add(1)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Stage 3+4: relaxation and verification on the worker pool.
+	emit("search")
+	res := &Result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range pairs {
+				if ctx.Err() != nil {
+					ct.pairsSkipped.Add(1)
+					continue
+				}
+				rules := searchPair(ctx, p.src, p.dest, opts, ct)
+				if len(rules) > 0 {
+					mu.Lock()
+					res.Rules = append(res.Rules, rules...)
+					mu.Unlock()
+					ct.rulesFound.Add(int64(len(rules)))
+				}
+				if n := completed.Add(1); n%int64(opts.ProgressEvery) == 0 {
+					emit("search")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sortRules(res.Rules)
+	res.Stats = ct.snapshot()
+	emit("done")
+	return res
+}
+
+// RunPair runs the constraint relaxation stage for a single, pre-renamed
+// template pair (the destination's symbols must be distinct from the
+// source's). Used by enum.SearchPair and targeted tests.
+func RunPair(ctx context.Context, src, dest *template.Node, opts Options) ([]Rule, Stats) {
+	opts.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ct := &counters{start: time.Now(), templates: 2}
+	rules := searchPair(ctx, src, dest, opts, ct)
+	ct.rulesFound.Add(int64(len(rules)))
+	return rules, ct.snapshot()
+}

@@ -1,9 +1,12 @@
 package rewrite
 
 import (
+	"wetune/internal/pipeline"
 	"wetune/internal/plan"
 	"wetune/internal/rules"
 	"wetune/internal/spes"
+	"wetune/internal/sql"
+	"wetune/internal/verify"
 )
 
 // Reduce removes redundant rules (§7): a rule R is reducible under a rule set
@@ -46,5 +49,38 @@ func reducible(r rules.Rule, all, rest []rules.Rule) bool {
 		// on data-specific facts the probe schema cannot encode); keep it.
 		return false
 	}
-	return plan.Fingerprint(gotFull) == plan.Fingerprint(gotRest)
+	if plan.Fingerprint(gotFull) == plan.Fingerprint(gotRest) {
+		return true
+	}
+	// The two rewrites produced different plans: R is still redundant when the
+	// remaining rules reached an equally small, provably equivalent result by
+	// another route. The size guard is essential — any two correct rewrites of
+	// the probe are equivalent, so equivalence alone would reduce everything;
+	// a larger gotRest means removing R loses optimization power.
+	if plan.Size(gotRest) > plan.Size(gotFull) {
+		return false
+	}
+	return provablyEquivalent(gotFull, gotRest, schema)
+}
+
+// provablyEquivalent abstracts the plan pair into a candidate rule and proves
+// it with the algebraic path of the built-in verifier, memoizing the verdict
+// in the shared proof cache under the pair's canonical fingerprint — repeated
+// reductions (and discovery runs that surfaced the same candidate) reuse the
+// verdict instead of re-invoking the verifier.
+func provablyEquivalent(a, b plan.Node, schema *sql.Schema) bool {
+	src, dest, cs, err := verify.AbstractPair(a, b, schema)
+	if err != nil {
+		return false
+	}
+	fp := pipeline.Fingerprint(src, dest, cs)
+	cache := pipeline.Shared()
+	if v, ok := cache.Get(fp); ok {
+		return v
+	}
+	opts := verify.DefaultOptions()
+	opts.SkipSMT = true // reduction probes are hot paths; algebraic only
+	ok := verify.VerifyOpts(src, dest, cs, opts).Outcome == verify.Verified
+	cache.Put(fp, ok)
+	return ok
 }

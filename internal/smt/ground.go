@@ -626,6 +626,10 @@ func (g *grounder) theoryConsistent(assign []int) bool {
 	// Enumerate zero / positive assignments.
 	n := len(vars)
 	for mask := 0; mask < (1 << n); mask++ {
+		if mask&1023 == 1023 && g.solver.expired() {
+			g.unknown = true
+			return true // give up on this split; treated like a timeout
+		}
 		positive := map[string]bool{}
 		for i, v := range vars {
 			if mask&(1<<i) != 0 {

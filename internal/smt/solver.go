@@ -17,6 +17,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,6 +60,10 @@ type Options struct {
 	// Deadline is a wall-clock cap; exceeded -> Unknown. Mirrors the paper's
 	// per-call Z3 timeout (about 50ms per potential rule on their hardware).
 	Deadline time.Duration
+	// Ctx, when non-nil, is checked in the solver's main loops (DPLL nodes,
+	// instantiation rounds, theory case splits): cancellation interrupts an
+	// in-flight proof with Unknown instead of running to the next boundary.
+	Ctx context.Context
 }
 
 // DefaultOptions mirror the paper's per-rule verification budget.
@@ -94,6 +99,9 @@ type solver struct {
 }
 
 func (s *solver) expired() bool {
+	if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+		return true
+	}
 	return s.opts.Deadline > 0 && time.Since(s.start) > s.opts.Deadline
 }
 
@@ -218,6 +226,9 @@ func (s *solver) solve(f fol.Formula) (Result, Stats) {
 
 	seenInst := map[string]bool{}
 	for round := 0; round < s.opts.InstRounds; round++ {
+		if s.expired() {
+			return Unknown, s.stats
+		}
 		pool := s.groundTerms(ground)
 		if len(pool) == 0 {
 			pool = []uexpr.Tuple{s.freshSkolem()}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -49,6 +50,8 @@ type RefuteOptions struct {
 	Trials int
 	Atoms  int // non-NULL atoms in the base domain
 	Seed   int64
+	// Context, when non-nil, cancels the trial loop early.
+	Context context.Context
 }
 
 // DefaultRefuteOptions uses 400 trials over 2-atom domains.
@@ -109,6 +112,9 @@ func Refute(src, dest *template.Node, cs *constraint.Set, opts RefuteOptions) (b
 	residual := residualConstraints(cl, reps)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for trial := 0; trial < opts.Trials; trial++ {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return false, ""
+		}
 		in := randomInterp(rng, opts.Atoms, depth, rels, attrs, preds)
 		if !in.satisfies(residual) {
 			continue

@@ -16,6 +16,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"wetune/internal/constraint"
@@ -91,6 +92,11 @@ type Options struct {
 	SkipSMT bool
 	// SkipAlgebraic disables the algebraic fast path (SMT only).
 	SkipAlgebraic bool
+	// Context, when non-nil, cancels verification between stages and inside
+	// the SMT solver's main loop: a deadline interrupts an in-flight proof
+	// rather than waiting for it to finish. A cancelled proof is Rejected
+	// (conservative, like the paper's timeout).
+	Context context.Context
 }
 
 // DefaultOptions returns the standard configuration.
@@ -101,8 +107,16 @@ func Verify(src, dest *template.Node, cs *constraint.Set) Report {
 	return VerifyOpts(src, dest, cs, DefaultOptions())
 }
 
+// cancelled reports whether the verification context is done.
+func cancelled(opts Options) bool {
+	return opts.Context != nil && opts.Context.Err() != nil
+}
+
 // VerifyOpts is Verify with explicit options.
 func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
+	if cancelled(opts) {
+		return Report{Outcome: Rejected, Detail: "cancelled"}
+	}
 	cl := constraint.Closure(cs)
 	reps := buildReps(cl)
 	srcU := src.Substitute(reps)
@@ -129,8 +143,14 @@ func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Repo
 	if opts.SkipSMT {
 		return Report{Outcome: Rejected, Detail: "algebraic forms differ"}
 	}
+	if cancelled(opts) {
+		return Report{Outcome: Rejected, Detail: "cancelled"}
+	}
 
 	// SMT fallback: translate the residual constraints and the equation.
+	if opts.SMT.Ctx == nil {
+		opts.SMT.Ctx = opts.Context
+	}
 	fv := fol.NewFreshVars(1 << 16)
 	residual := residualConstraints(cl, reps)
 	hyp, err := fol.SetToFOL(residual, fv)
@@ -143,6 +163,9 @@ func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Repo
 	}
 	var last smt.Stats
 	for _, goal := range candidates {
+		if cancelled(opts) {
+			return Report{Outcome: Rejected, Stats: last, Detail: "cancelled"}
+		}
 		ok, st := smt.ProveValid(hyp, goal, opts.SMT)
 		last = st
 		if ok {

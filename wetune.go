@@ -24,19 +24,19 @@
 package wetune
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"wetune/internal/constraint"
 	"wetune/internal/datagen"
 	"wetune/internal/engine"
-	"wetune/internal/enum"
+	"wetune/internal/pipeline"
 	"wetune/internal/plan"
 	"wetune/internal/rewrite"
 	"wetune/internal/rules"
 	"wetune/internal/spes"
 	"wetune/internal/sql"
-	"wetune/internal/template"
 	"wetune/internal/verify"
 )
 
@@ -217,11 +217,27 @@ type DiscoveryOptions struct {
 	// MaxTemplateSize bounds template operators (paper: 4; sizes above 2 are
 	// expensive — the paper's full run took 36 hours on 120 cores).
 	MaxTemplateSize int
-	// Budget bounds the wall-clock time (0 = unlimited).
+	// Budget bounds the wall-clock time (0 = unlimited). An expiring budget
+	// interrupts the proof in flight, not just the next pair boundary.
 	Budget time.Duration
 	// Workers for parallel search (0 = GOMAXPROCS).
 	Workers int
+	// Context cancels discovery early (nil = background). It composes with
+	// Budget: whichever ends first stops the run, which then returns the
+	// rules found so far with partial stats.
+	Context context.Context
+	// Progress, when set, receives a per-stage stats snapshot at every stage
+	// boundary and periodically during the search. Calls are serialized.
+	Progress func(DiscoveryProgress)
 }
+
+// DiscoveryStats reports per-stage discovery effort (templates, pairs,
+// prover calls, cache hits, elapsed).
+type DiscoveryStats = pipeline.Stats
+
+// DiscoveryProgress is one progress snapshot: the stage name plus the
+// counters so far.
+type DiscoveryProgress = pipeline.Snapshot
 
 // DiscoveryResult reports a discovery run.
 type DiscoveryResult struct {
@@ -229,6 +245,11 @@ type DiscoveryResult struct {
 	Templates   int
 	PairsTried  int64
 	ProverCalls int64
+	// CacheHits counts prover invocations answered by the shared proof
+	// cache; repeated runs over the same template set re-prove nothing.
+	CacheHits int64
+	// Stats holds the full per-stage breakdown.
+	Stats DiscoveryStats
 }
 
 // DiscoveredRule is a machine-found rewrite rule.
@@ -239,32 +260,56 @@ type DiscoveredRule struct {
 	AsRule      Rule
 }
 
-// Discover runs the paper's rule generation pipeline (§4): template
-// enumeration, pairing, constraint enumeration and relaxation, each candidate
-// checked by the built-in verifier.
-func Discover(opts DiscoveryOptions) *DiscoveryResult {
-	size := opts.MaxTemplateSize
-	if size <= 0 {
-		size = 2
+// discoveredRuleBase returns the first rule number free for discovered rules:
+// above 999 and above every builtin rule number, so discovered rules never
+// collide with rules.All().
+func discoveredRuleBase() int {
+	base := 1000
+	for _, r := range rules.All() {
+		if r.No >= base {
+			base = r.No + 1
+		}
 	}
-	res := enum.Search(enum.Options{
-		Templates: template.Enumerate(template.EnumOptions{MaxSize: size}),
-		Prover:    enum.AlgebraicProver,
-		Deadline:  opts.Budget,
-		Workers:   opts.Workers,
+	return base
+}
+
+// Discover runs the paper's rule generation pipeline (§4) — template
+// enumeration, pairing, constraint enumeration and relaxation, each candidate
+// checked by the built-in verifier — on the staged internal/pipeline engine.
+// Verdicts are memoized in the process-wide proof cache, so repeated runs
+// over the same template set reuse them instead of re-invoking the verifier.
+func Discover(opts DiscoveryOptions) *DiscoveryResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+	res := pipeline.Run(ctx, pipeline.Options{
+		MaxTemplateSize: opts.MaxTemplateSize,
+		Prover:          pipeline.AlgebraicProver,
+		Workers:         opts.Workers,
+		Cache:           pipeline.Shared(),
+		Progress:        opts.Progress,
 	})
 	out := &DiscoveryResult{
 		Templates:   res.Stats.Templates,
 		PairsTried:  res.Stats.PairsTried,
 		ProverCalls: res.Stats.ProverCalls,
+		CacheHits:   res.Stats.CacheHits,
+		Stats:       res.Stats,
 	}
+	base := discoveredRuleBase()
 	for i, r := range res.Rules {
 		out.Rules = append(out.Rules, DiscoveredRule{
 			Source:      r.Src.String(),
 			Destination: r.Dest.String(),
 			Constraints: r.Constraints.String(),
 			AsRule: Rule{
-				No:          1000 + i,
+				No:          base + i,
 				Name:        fmt.Sprintf("discovered-%d", i),
 				Src:         r.Src,
 				Dest:        r.Dest,

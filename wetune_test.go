@@ -117,7 +117,9 @@ func TestVerifySQLPairAPI(t *testing.T) {
 
 func TestDiscoverAPI(t *testing.T) {
 	res := Discover(DiscoveryOptions{MaxTemplateSize: 1, Budget: 20 * time.Second})
-	if res.Templates == 0 || res.ProverCalls == 0 {
+	// Earlier tests may have warmed the shared proof cache, in which case
+	// verdicts are cache hits instead of prover calls.
+	if res.Templates == 0 || res.ProverCalls+res.CacheHits == 0 {
 		t.Fatal("discovery did not run")
 	}
 	// Every discovered rule must re-verify.
