@@ -4,27 +4,37 @@
 // Usage:
 //
 //	wetune discover [-size N] [-budget 30s] [-workers N] [-cache FILE] [-progress]
-//	                                            run rule discovery (Ctrl-C cancels;
-//	                                            -cache persists proof verdicts across runs)
+//	                [-metrics FILE] [-debug-addr :6060] [-trace-slow 500ms]
+//	                                            run rule discovery (Ctrl-C cancels and still
+//	                                            persists -cache; -metrics dumps the registry
+//	                                            as JSON on exit; -debug-addr serves expvar +
+//	                                            pprof live; -trace-slow logs span trees of
+//	                                            pairs slower than the threshold)
 //	wetune rules                                print the Table 7 rule library
 //	wetune verify                               verify the rule library with both verifiers
 //	wetune rewrite -q "SELECT ..."              rewrite one query over the demo schema
 //	wetune bench [experiment]                   regenerate evaluation artifacts
 //	                                            (table1 study50 discovery table7 apps
 //	                                             calcite latency casestudy verifiers
-//	                                             timeout table6 ablations reduction | all)
+//	                                             timeout table6 ablations reduction
+//	                                             metrics | all)
 package main
 
 import (
 	"context"
+	_ "expvar" // registers /debug/vars on the default mux for -debug-addr
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux for -debug-addr
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"wetune"
 	"wetune/internal/bench"
+	"wetune/internal/obs"
 	"wetune/internal/pipeline"
 	"wetune/internal/rules"
 	"wetune/internal/spes"
@@ -64,6 +74,10 @@ func cmdDiscover(args []string) {
 	workers := fs.Int("workers", 0, "search workers (0 = GOMAXPROCS)")
 	cacheFile := fs.String("cache", "", "proof-cache file: verdicts load before and persist after, so repeated runs re-prove nothing")
 	progress := fs.Bool("progress", false, "print per-stage progress while searching")
+	prover := fs.String("prover", "full", "candidate prover: full (algebraic + SMT fallback) or algebraic (fast path only)")
+	metricsFile := fs.String("metrics", "", "write the metrics registry (stage/proof histograms, SMT outcome and cache counters) as JSON to FILE on exit")
+	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on ADDR, e.g. :6060, while the run is live")
+	traceSlow := fs.Duration("trace-slow", 0, "log the span tree (pair → prove → verify → smt.solve) of every pair slower than this threshold, e.g. 500ms (0 = off)")
 	fs.Parse(args)
 
 	if *cacheFile != "" {
@@ -72,34 +86,97 @@ func cmdDiscover(args []string) {
 			os.Exit(1)
 		}
 	}
-	// Ctrl-C cancels the run; the rules found so far are still printed.
+	// saveCache is called from the normal exit path AND from the signal
+	// watcher below, so a Ctrl-C mid-search persists the verdicts proven so
+	// far instead of discarding hours of prover work. The mutex keeps the two
+	// paths from interleaving writes; saving twice is harmless (last write
+	// has the most verdicts).
+	var saveMu sync.Mutex
+	saveCache := func(when string) {
+		if *cacheFile == "" {
+			return
+		}
+		saveMu.Lock()
+		defer saveMu.Unlock()
+		if err := pipeline.Shared().SaveFile(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "cache save (%s): %v\n", when, err)
+			return
+		}
+		if when != "exit" {
+			fmt.Fprintf(os.Stderr, "cache saved to %s (%s)\n", *cacheFile, when)
+		}
+	}
+
+	if *debugAddr != "" {
+		obs.PublishExpvar("wetune", obs.Default())
+		srv := &http.Server{Addr: *debugAddr} // default mux: expvar + pprof via imports
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on %s (/debug/vars, /debug/pprof/)\n", *debugAddr)
+	}
+
+	// Ctrl-C cancels the run; the rules found so far are still printed and
+	// the proof cache is persisted immediately (a second Ctrl-C, after stop()
+	// restores default signal handling, force-kills the process).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-ctx.Done():
+			saveCache("interrupted")
+			stop()
+		case <-finished:
+		}
+	}()
+
 	opts := wetune.DiscoveryOptions{
 		MaxTemplateSize: *size,
 		Budget:          *budget,
 		Workers:         *workers,
 		Context:         ctx,
+		TraceSlow:       *traceSlow,
+	}
+	switch *prover {
+	case "full":
+		opts.UseSMT = true
+	case "algebraic":
+	default:
+		fmt.Fprintf(os.Stderr, "discover: unknown -prover %q (want full or algebraic)\n", *prover)
+		os.Exit(2)
+	}
+	if *traceSlow > 0 {
+		opts.SlowTrace = func(tree string) {
+			fmt.Fprintf(os.Stderr, "slow pair (>%v):\n%s", *traceSlow, tree)
+		}
 	}
 	if *progress {
 		opts.Progress = func(p wetune.DiscoveryProgress) {
-			fmt.Fprintf(os.Stderr, "[%s] templates=%d pairs=%d/%d prover=%d cache-hits=%d rules=%d %.1fs\n",
+			fmt.Fprintf(os.Stderr, "[%s] templates=%d pairs=%d/%d prover=%d cache=%d/%d (%.0f%% hit, %d entries) rules=%d %.1fs\n",
 				p.Stage, p.Stats.Templates, p.Stats.PairsTried, p.Stats.PairsGenerated,
-				p.Stats.ProverCalls, p.Stats.CacheHits, p.Stats.RulesFound, p.Stats.Elapsed.Seconds())
+				p.Stats.ProverCalls, p.Stats.CacheHits, p.Stats.CacheHits+p.Stats.CacheMisses,
+				100*p.Stats.CacheHitRate(), p.Stats.CacheSize, p.Stats.RulesFound, p.Stats.Elapsed.Seconds())
 		}
 	}
 	res := wetune.Discover(opts)
-	fmt.Printf("templates: %d; pairs tried: %d (%d skipped); prover calls: %d; cache hits: %d; rules: %d; elapsed: %v\n",
-		res.Templates, res.PairsTried, res.Stats.PairsSkipped, res.ProverCalls, res.CacheHits, len(res.Rules),
-		res.Stats.Elapsed.Round(time.Millisecond))
+	fmt.Printf("templates: %d; pairs tried: %d (%d skipped); prover calls: %d; cache hits: %d (%.0f%% hit rate); rules: %d; elapsed: %v\n",
+		res.Templates, res.PairsTried, res.Stats.PairsSkipped, res.ProverCalls, res.CacheHits,
+		100*res.Stats.CacheHitRate(), len(res.Rules), res.Stats.Elapsed.Round(time.Millisecond))
 	for i, r := range res.Rules {
 		fmt.Printf("%4d  %s\n      => %s\n      under %s\n", i+1, r.Source, r.Destination, r.Constraints)
 	}
-	if *cacheFile != "" {
-		if err := pipeline.Shared().SaveFile(*cacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "cache save:", err)
+	saveCache("exit")
+	if *metricsFile != "" {
+		if err := obs.Default().DumpFile(*metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump:", err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsFile)
 	}
 }
 
@@ -211,6 +288,7 @@ func cmdBench(args []string) {
 		{"table6", bench.Table6Capabilities},
 		{"ablations", nil}, // expanded below
 		{"reduction", bench.RuleReduction},
+		{"metrics", func() *bench.Report { return bench.DiscoveryMetrics(2) }},
 	}
 	ran := false
 	for _, e := range experiments {

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node in a trace tree. Spans are created by StartSpan (a
+// root) or ChildSpan (attached to the span already in the context), carry an
+// optional one-line note (outcome, cache verdict, node counts), and render as
+// an indented tree via Tree. All methods are safe on a nil receiver, so
+// instrumented code can call ChildSpan unconditionally: when no trace is
+// active it returns a nil span and every operation is a no-op.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	note     string
+	children []*Span
+}
+
+type spanKey struct{}
+
+// StartSpan begins a new span named name and returns a context carrying it.
+// If ctx already carries a span the new one is attached as its child;
+// otherwise it is a root. Pass the returned context down the call chain so
+// nested ChildSpan/StartSpan calls build the tree.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		parent.addChild(sp)
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// ChildSpan begins a span only when ctx already carries one — the form used
+// on hot paths (prover calls, SMT solves) so that un-traced runs pay nothing
+// beyond one context lookup. Returns (ctx, nil) when no trace is active.
+func ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		return StartSpan(ctx, name)
+	}
+	return ctx, nil
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+func (s *Span) addChild(c *Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End stops the span's clock (first call wins) and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the span's length: final if ended, running so far if not.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetNote attaches a short annotation shown in the tree rendering, e.g. the
+// proof outcome or "cache-hit". Last call wins.
+func (s *Span) SetNote(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.note = note
+	s.mu.Unlock()
+}
+
+// Children returns a snapshot of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Tree renders the span and its descendants as an indented timing tree:
+//
+//	pair P(a0,r0) => Proj(a1,r1)  1.82ms
+//	  prove #1 (4 constraints)  612µs  [verified]
+//	    smt.solve  583µs  [unsat nodes=1204]
+//
+// Durations are rounded to 1µs; a span still running shows "(running)".
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.writeTree(&b, 0)
+	return b.String()
+}
+
+func (s *Span) writeTree(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	name, note, ended, dur := s.name, s.note, s.ended, s.dur
+	children := append([]*Span(nil), s.children...)
+	if !ended {
+		dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(name)
+	fmt.Fprintf(b, "  %v", dur.Round(time.Microsecond))
+	if !ended {
+		b.WriteString(" (running)")
+	}
+	if note != "" {
+		fmt.Fprintf(b, "  [%s]", note)
+	}
+	b.WriteByte('\n')
+	for _, c := range children {
+		c.writeTree(b, depth+1)
+	}
+}

@@ -26,8 +26,22 @@ import (
 	"time"
 
 	"wetune/internal/constraint"
+	"wetune/internal/obs"
 	"wetune/internal/template"
 	"wetune/internal/verify"
+)
+
+// Metric names recorded by the pipeline (see internal/obs and DESIGN.md).
+const (
+	metricStageTemplates = "pipeline_stage_templates_seconds"
+	metricPairSeconds    = "pipeline_pair_seconds"
+	metricProverSeconds  = "pipeline_prover_seconds"
+	metricQueueDepth     = "pipeline_queue_depth"
+	metricCacheHits      = "pipeline_cache_hits"
+	metricCacheMisses    = "pipeline_cache_misses"
+	metricPairsTried     = "pipeline_pairs_tried"
+	metricPairsSkipped   = "pipeline_pairs_skipped"
+	metricRulesFound     = "pipeline_rules_found"
 )
 
 // Rule is a discovered rewrite rule <q_src, q_dest, C>.
@@ -98,11 +112,27 @@ type Options struct {
 	// Cache shares proof verdicts across stages and runs; nil uses a fresh
 	// private cache (verdicts still dedupe isomorphic pairs within the run).
 	Cache *ProofCache
+	// CacheNamespace prefixes every cache key. Provers of different strength
+	// must not share verdicts (an algebraic "false" would mask an SMT-provable
+	// rule, and vice versa an SMT "true" would leak into algebraic-only runs),
+	// so callers switching provers set a distinct namespace per prover. Empty
+	// (the default) is the historical namespace of the algebraic path.
+	CacheNamespace string
 	// Progress, when set, receives a stats snapshot at every stage boundary
 	// and every ProgressEvery completed pairs. Calls are serialized.
 	Progress func(Snapshot)
 	// ProgressEvery is the pair interval between Progress calls (default 32).
 	ProgressEvery int
+	// Metrics is the registry the run records into (stage latency histograms,
+	// queue depth, cache hit/miss counters); nil uses obs.Default().
+	Metrics *obs.Registry
+	// TraceSlow, when > 0, records a span tree per template pair (pair →
+	// prove → verify → smt.solve) and hands trees of pairs slower than the
+	// threshold to SlowPair. Zero disables span recording entirely.
+	TraceSlow time.Duration
+	// SlowPair receives the root span of each pair slower than TraceSlow.
+	// Calls are serialized. Nil drops the trees (histograms still record).
+	SlowPair func(*obs.Span)
 }
 
 func (o *Options) fill() {
@@ -130,6 +160,9 @@ func (o *Options) fill() {
 	if o.Cache == nil {
 		o.Cache = NewProofCache()
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
 }
 
 // Stats reports per-stage search effort.
@@ -145,9 +178,25 @@ type Stats struct {
 	// Stage 4: verification (prover calls are cache misses).
 	ProverCalls int64
 	CacheHits   int64
+	// CacheMisses is the in-run miss count observed on the ProofCache (the
+	// cache tracks both sides; hits alone cannot give a rate).
+	CacheMisses int64
+	// CacheSize is the cache's current verdict count (includes verdicts
+	// loaded from disk or left by earlier runs of a shared cache).
+	CacheSize int
 	// Outcome.
 	RulesFound int64
 	Elapsed    time.Duration
+}
+
+// CacheHitRate returns the in-run proof-cache hit rate in [0, 1], or 0 before
+// any lookup.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Snapshot is a point-in-time view of the run handed to Progress callbacks.
@@ -167,12 +216,17 @@ type counters struct {
 	pairsSkipped    atomic.Int64
 	proverCalls     atomic.Int64
 	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
 	rulesFound      atomic.Int64
 	start           time.Time
+	// cache, when set, contributes its size to snapshots (hit/miss deltas are
+	// tracked per-run in cacheHits/cacheMisses above, so shared caches do not
+	// leak earlier runs' traffic into this run's stats).
+	cache *ProofCache
 }
 
 func (c *counters) snapshot() Stats {
-	return Stats{
+	st := Stats{
 		Templates:       c.templates,
 		TemplateElapsed: c.templateElapsed,
 		PairsGenerated:  c.pairsGenerated.Load(),
@@ -180,9 +234,14 @@ func (c *counters) snapshot() Stats {
 		PairsSkipped:    c.pairsSkipped.Load(),
 		ProverCalls:     c.proverCalls.Load(),
 		CacheHits:       c.cacheHits.Load(),
+		CacheMisses:     c.cacheMisses.Load(),
 		RulesFound:      c.rulesFound.Load(),
 		Elapsed:         time.Since(c.start),
 	}
+	if c.cache != nil {
+		st.CacheSize = c.cache.Len()
+	}
+	return st
 }
 
 // Result is the outcome of a pipeline run.
@@ -201,7 +260,17 @@ func Run(ctx context.Context, opts Options) *Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ct := &counters{start: time.Now()}
+	ct := &counters{start: time.Now(), cache: opts.Cache}
+	reg := opts.Metrics
+	// Pre-register the run's counters: metrics are created lazily, and a
+	// zero-valued metric that never appears in the export is indistinguishable
+	// from one that was never wired ("0 cache hits" on a cold run is signal).
+	for _, name := range []string{
+		metricCacheHits, metricCacheMisses, metricPairsTried,
+		metricPairsSkipped, metricRulesFound,
+	} {
+		reg.Counter(name)
+	}
 	var progressMu sync.Mutex
 	emit := func(stage string) {
 		if opts.Progress == nil {
@@ -220,11 +289,15 @@ func Run(ctx context.Context, opts Options) *Result {
 	}
 	ct.templates = len(templates)
 	ct.templateElapsed = time.Since(ct.start)
+	reg.Histogram(metricStageTemplates).Observe(ct.templateElapsed)
 
 	// Stage 2: pair generation, streamed so cancellation needs no drain of a
-	// quadratic backlog.
+	// quadratic backlog. The queue-depth gauge distinguishes a starved pool
+	// (depth pinned at 0: generation is the bottleneck) from a clogged one
+	// (depth pinned high: a pathological pair holds every worker).
 	emit("pairs")
-	pairs := make(chan pair)
+	queueDepth := reg.Gauge(metricQueueDepth)
+	pairs := make(chan pair, opts.Workers)
 	go func() {
 		defer close(pairs)
 		for _, src := range templates {
@@ -236,6 +309,7 @@ func Run(ctx context.Context, opts Options) *Result {
 				select {
 				case pairs <- p:
 					ct.pairsGenerated.Add(1)
+					queueDepth.Add(1)
 				case <-ctx.Done():
 					return
 				}
@@ -246,7 +320,10 @@ func Run(ctx context.Context, opts Options) *Result {
 	// Stage 3+4: relaxation and verification on the worker pool.
 	emit("search")
 	res := &Result{}
+	pairHist := reg.Histogram(metricPairSeconds)
+	rulesFound := reg.Counter(metricRulesFound)
 	var mu sync.Mutex
+	var slowMu sync.Mutex
 	var wg sync.WaitGroup
 	var completed atomic.Int64
 	for w := 0; w < opts.Workers; w++ {
@@ -254,16 +331,34 @@ func Run(ctx context.Context, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for p := range pairs {
+				queueDepth.Add(-1)
 				if ctx.Err() != nil {
 					ct.pairsSkipped.Add(1)
+					reg.Counter(metricPairsSkipped).Inc()
 					continue
 				}
-				rules := searchPair(ctx, p.src, p.dest, opts, ct)
+				pctx := ctx
+				var sp *obs.Span
+				if opts.TraceSlow > 0 {
+					pctx, sp = obs.StartSpan(ctx, "pair "+p.src.String()+" => "+p.dest.String())
+				}
+				begin := time.Now()
+				rules := searchPair(pctx, p.src, p.dest, opts, ct)
+				pairHist.Observe(time.Since(begin))
+				if sp != nil {
+					sp.SetNote("%d rules", len(rules))
+					if sp.End() >= opts.TraceSlow && opts.SlowPair != nil {
+						slowMu.Lock()
+						opts.SlowPair(sp)
+						slowMu.Unlock()
+					}
+				}
 				if len(rules) > 0 {
 					mu.Lock()
 					res.Rules = append(res.Rules, rules...)
 					mu.Unlock()
 					ct.rulesFound.Add(int64(len(rules)))
+					rulesFound.Add(int64(len(rules)))
 				}
 				if n := completed.Add(1); n%int64(opts.ProgressEvery) == 0 {
 					emit("search")
@@ -286,7 +381,7 @@ func RunPair(ctx context.Context, src, dest *template.Node, opts Options) ([]Rul
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ct := &counters{start: time.Now(), templates: 2}
+	ct := &counters{start: time.Now(), templates: 2, cache: opts.Cache}
 	rules := searchPair(ctx, src, dest, opts, ct)
 	ct.rulesFound.Add(int64(len(rules)))
 	return rules, ct.snapshot()

@@ -4,11 +4,13 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"wetune/internal/constraint"
+	"wetune/internal/obs"
 	"wetune/internal/template"
 )
 
@@ -209,6 +211,106 @@ func TestCancelledVerdictsNotCached(t *testing.T) {
 	}
 	if cache.Len() != 0 {
 		t.Fatalf("cache holds %d verdicts from interrupted proofs", cache.Len())
+	}
+}
+
+// TestMetricsPopulatedAfterRun: a small run must leave non-empty stage
+// histograms, pair counters and cache hit/miss counts in the registry it was
+// handed (the acceptance contract of the -metrics CLI flag).
+func TestMetricsPopulatedAfterRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := Run(context.Background(), Options{
+		Templates: size1Templates(),
+		Prover:    AlgebraicProver,
+		Metrics:   reg,
+	})
+	snap := reg.Snapshot()
+	if h := snap.Histograms["pipeline_stage_templates_seconds"]; h.Count != 1 {
+		t.Errorf("template-stage histogram count = %d, want 1", h.Count)
+	}
+	if h := snap.Histograms["pipeline_pair_seconds"]; h.Count == 0 {
+		t.Error("pair latency histogram is empty after a run")
+	}
+	if h := snap.Histograms["pipeline_prover_seconds"]; h.Count == 0 {
+		t.Error("prover latency histogram is empty after a run")
+	}
+	if snap.Counters["pipeline_pairs_tried"] == 0 {
+		t.Error("pairs-tried counter is zero after a run")
+	}
+	if snap.Counters["pipeline_cache_misses"] == 0 {
+		t.Error("a cold cache must record misses")
+	}
+	if d := snap.Gauges["pipeline_queue_depth"]; d != 0 {
+		t.Errorf("queue depth gauge = %d after the run drained, want 0", d)
+	}
+	// Stats surface the same cache telemetry.
+	if res.Stats.CacheMisses == 0 || res.Stats.CacheSize == 0 {
+		t.Errorf("cache stats not surfaced: misses=%d size=%d",
+			res.Stats.CacheMisses, res.Stats.CacheSize)
+	}
+	if r := res.Stats.CacheHitRate(); r < 0 || r > 1 {
+		t.Errorf("hit rate %v out of range", r)
+	}
+}
+
+// TestWarmRunCacheHitRate: with a warm shared cache the stats must report a
+// positive hit rate (this is the number printed on the CLI progress line).
+func TestWarmRunCacheHitRate(t *testing.T) {
+	templates := size1Templates()
+	cache := NewProofCache()
+	Run(context.Background(), Options{Templates: templates, Prover: AlgebraicProver, Cache: cache, Metrics: obs.NewRegistry()})
+	warm := Run(context.Background(), Options{Templates: templates, Prover: AlgebraicProver, Cache: cache, Metrics: obs.NewRegistry()})
+	if r := warm.Stats.CacheHitRate(); r <= 0 {
+		t.Errorf("warm run hit rate = %v, want > 0 (hits=%d misses=%d)",
+			r, warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	if warm.Stats.CacheSize == 0 {
+		t.Error("warm run reports an empty cache")
+	}
+}
+
+// TestTraceSlowEmitsSpanTrees: with a zero-ish threshold every pair is
+// "slow"; the SlowPair hook must receive span trees whose children include
+// the prove spans.
+func TestTraceSlowEmitsSpanTrees(t *testing.T) {
+	var trees []string
+	Run(context.Background(), Options{
+		Templates: size1Templates(),
+		Prover:    AlgebraicProver,
+		Metrics:   obs.NewRegistry(),
+		TraceSlow: time.Nanosecond,
+		SlowPair:  func(sp *obs.Span) { trees = append(trees, sp.Tree()) },
+	})
+	if len(trees) == 0 {
+		t.Fatal("no slow-pair traces emitted at a 1ns threshold")
+	}
+	var sawProve bool
+	for _, tree := range trees {
+		if !strings.HasPrefix(tree, "pair ") {
+			t.Fatalf("trace root is not a pair span:\n%s", tree)
+		}
+		if strings.Contains(tree, "  prove") {
+			sawProve = true
+		}
+	}
+	if !sawProve {
+		t.Error("no trace contains a nested prove span")
+	}
+}
+
+// TestTraceDisabledNoSpans: without TraceSlow the prover context must not
+// carry a span (hot paths stay span-free by default).
+func TestTraceDisabledNoSpans(t *testing.T) {
+	var sawSpan atomic.Bool
+	probe := func(ctx context.Context, src, dest *template.Node, cs *constraint.Set) bool {
+		if obs.FromContext(ctx) != nil {
+			sawSpan.Store(true)
+		}
+		return AlgebraicProver(ctx, src, dest, cs)
+	}
+	Run(context.Background(), Options{Templates: size1Templates(), Prover: probe, Metrics: obs.NewRegistry()})
+	if sawSpan.Load() {
+		t.Error("prover saw a span although tracing was disabled")
 	}
 }
 

@@ -3,8 +3,10 @@ package pipeline
 import (
 	"context"
 	"sort"
+	"time"
 
 	"wetune/internal/constraint"
+	"wetune/internal/obs"
 	"wetune/internal/template"
 )
 
@@ -21,12 +23,18 @@ import (
 // RenameApart). Cancelling ctx aborts between prover calls and interrupts the
 // in-flight proof; the rules found so far are returned.
 func searchPair(ctx context.Context, src, dest *template.Node, opts Options, ct *counters) []Rule {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	cstar := filterRefAttrs(constraint.Enumerate(src, dest), src, dest)
 	if cstar.Len() > opts.MaxConstraints {
 		ct.pairsSkipped.Add(1)
+		reg.Counter(metricPairsSkipped).Inc()
 		return nil
 	}
 	ct.pairsTried.Add(1)
+	reg.Counter(metricPairsTried).Inc()
 	s := &relaxer{
 		ctx: ctx, src: src, dest: dest,
 		prover: opts.Prover,
@@ -34,7 +42,9 @@ func searchPair(ctx context.Context, src, dest *template.Node, opts Options, ct 
 		memo:   map[string]bool{},
 		prune:  !opts.DisablePruning,
 		cache:  opts.Cache,
+		ns:     opts.CacheNamespace,
 		ct:     ct,
+		reg:    reg,
 	}
 	if s.cache != nil {
 		s.fp = newFingerprinter(src, dest)
@@ -81,8 +91,10 @@ type relaxer struct {
 	memo      map[string]bool
 	prune     bool
 	cache     *ProofCache
+	ns        string
 	fp        *fingerprinter
 	ct        *counters
+	reg       *obs.Registry
 }
 
 // prove decides one candidate constraint set. The per-pair memo and the
@@ -104,17 +116,26 @@ func (s *relaxer) prove(cs *constraint.Set) bool {
 		return false
 	}
 	s.calls++
+	ctx, sp := obs.ChildSpan(s.ctx, "prove")
+	defer sp.End()
 	var fpKey string
 	if s.cache != nil {
-		fpKey = s.fp.key(cs)
+		fpKey = s.ns + s.fp.key(cs)
 		if v, ok := s.cache.Get(fpKey); ok {
 			s.ct.cacheHits.Add(1)
+			s.reg.Counter(metricCacheHits).Inc()
 			s.memo[key] = v
+			sp.SetNote("cache-hit %v (%d constraints)", v, cs.Len())
 			return v
 		}
+		s.ct.cacheMisses.Add(1)
+		s.reg.Counter(metricCacheMisses).Inc()
 	}
 	s.ct.proverCalls.Add(1)
-	v := s.prover(s.ctx, s.src, s.dest, cs)
+	begin := time.Now()
+	v := s.prover(ctx, s.src, s.dest, cs)
+	s.reg.Histogram(metricProverSeconds).Observe(time.Since(begin))
+	sp.SetNote("%v (%d constraints)", v, cs.Len())
 	if s.ctx.Err() != nil {
 		// The proof was interrupted: the conservative "false" must not be
 		// memoized anywhere a later, uncancelled run could see it.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"wetune/internal/engine"
+	"wetune/internal/obs"
 	"wetune/internal/plan"
 	"wetune/internal/rules"
 	"wetune/internal/sql"
@@ -38,16 +39,23 @@ func NewRewriter(rs []rules.Rule, schema *sql.Schema) *Rewriter {
 }
 
 // Candidates returns every single-step rewrite of p (any rule, any position).
+// Match attempts and successful matches are counted in the default metrics
+// registry (rewrite_rule_attempts / rewrite_rule_matches).
 func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
+	reg := obs.Default()
+	attempts := reg.Counter("rewrite_rule_attempts")
+	matches := reg.Counter("rewrite_rule_matches")
 	m := &Matcher{Schema: rw.Schema}
 	var out []Candidate
 	for _, rule := range rw.Rules {
 		for _, path := range nodePaths(p) {
 			frag := nodeAt(p, path)
+			attempts.Inc()
 			repl, ok := m.Apply(rule, frag)
 			if !ok {
 				continue
 			}
+			matches.Inc()
 			np := replaceAt(p, path, repl)
 			if plan.Fingerprint(np) == plan.Fingerprint(p) {
 				continue // no-op application
@@ -77,6 +85,7 @@ func (rw *Rewriter) Rewrite(p plan.Node) (plan.Node, []Applied) {
 		seen[plan.Fingerprint(cur)] = true
 		applied = append(applied, Applied{RuleNo: best.Rule.No, RuleName: best.Rule.Name})
 	}
+	obs.Default().Counter("rewrite_rules_applied").Add(int64(len(applied)))
 	return cur, applied
 }
 
@@ -291,6 +300,7 @@ func (rw *Rewriter) Explore(p plan.Node, beam, depth int) (plan.Node, []Applied)
 		}
 		frontier = next
 	}
+	obs.Default().Counter("rewrite_rules_applied").Add(int64(len(best.path)))
 	return best.plan, best.path
 }
 

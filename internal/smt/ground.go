@@ -388,11 +388,13 @@ func (g *grounder) dpll(f fol.Formula, assign []int) Result {
 	case *fol.TupleEq, *fol.PredApp, *fol.IsNull:
 		eqAtom = true
 	}
+	g.solver.stats.Decisions++
 	for _, v := range []int{evalTrue, evalFalse} {
 		assign[open] = v
 		// Cheap early conflict detection on equality literals.
 		if eqAtom && g.quickEqConflict(assign) {
 			assign[open] = evalOpen
+			g.solver.stats.Backtracks++
 			continue
 		}
 		res := g.dpll(f, assign)
@@ -400,6 +402,7 @@ func (g *grounder) dpll(f fol.Formula, assign []int) Result {
 		if res == Sat {
 			return Sat
 		}
+		g.solver.stats.Backtracks++
 		if res == Unknown {
 			sawUnknown = true
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"wetune/internal/fol"
+	"wetune/internal/obs"
 	"wetune/internal/uexpr"
 )
 
@@ -63,7 +64,11 @@ type Options struct {
 	// Ctx, when non-nil, is checked in the solver's main loops (DPLL nodes,
 	// instantiation rounds, theory case splits): cancellation interrupts an
 	// in-flight proof with Unknown instead of running to the next boundary.
+	// It also carries the tracing span (if any) the solve attaches to.
 	Ctx context.Context
+	// Metrics is the registry proof durations, outcome counters and DPLL
+	// decision/backtrack counts are recorded in; nil uses obs.Default().
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirror the paper's per-rule verification budget.
@@ -76,12 +81,42 @@ type Stats struct {
 	Nodes     int
 	Instances int
 	Atoms     int
+	// Decisions counts DPLL branch points (an open atom was picked and
+	// assigned); Backtracks counts abandoned branch values. A proof with many
+	// backtracks per decision is thrashing in the theory solver.
+	Decisions  int
+	Backtracks int
 }
 
-// Solve decides satisfiability of a closed formula.
+// Metric names recorded by the solver (see internal/obs and DESIGN.md).
+const (
+	metricProofSeconds = "smt_proof_seconds"
+	metricDecisions    = "smt_decisions"
+	metricBacktracks   = "smt_backtracks"
+	metricInstances    = "smt_instances"
+	metricOutcome      = "smt_outcome_" // + sat|unsat|unknown
+)
+
+// Solve decides satisfiability of a closed formula. Every call records its
+// duration, outcome and DPLL effort in the metrics registry; Unknown covers
+// both node-budget and wall-clock "timeouts" (the paper's dominant cost, so
+// the timeout counter is the first thing to check when a run stalls).
 func Solve(f fol.Formula, opts Options) (Result, Stats) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	_, sp := obs.ChildSpan(opts.Ctx, "smt.solve")
 	s := &solver{opts: opts, skolemBase: 1 << 24, start: time.Now()}
-	return s.solve(f)
+	res, st := s.solve(f)
+	reg.Histogram(metricProofSeconds).Observe(time.Since(s.start))
+	reg.Counter(metricOutcome + res.String()).Inc()
+	reg.Counter(metricDecisions).Add(int64(st.Decisions))
+	reg.Counter(metricBacktracks).Add(int64(st.Backtracks))
+	reg.Counter(metricInstances).Add(int64(st.Instances))
+	sp.SetNote("%s nodes=%d decisions=%d backtracks=%d", res, st.Nodes, st.Decisions, st.Backtracks)
+	sp.End()
+	return res, st
 }
 
 // ProveValid reports whether hypotheses => goal is valid, by checking

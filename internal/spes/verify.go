@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"wetune/internal/constraint"
+	"wetune/internal/obs"
 	"wetune/internal/plan"
 	"wetune/internal/sql"
 	"wetune/internal/template"
@@ -13,8 +14,19 @@ import (
 
 // VerifyRule checks a rewrite rule with the SPES-style procedure: concretize
 // both templates (§5.2), then prove plan equivalence by normalization and
-// isomorphism. reason explains failures.
+// isomorphism. reason explains failures. Verdicts are counted in the default
+// metrics registry (verify_spes_ok / verify_spes_fail).
 func VerifyRule(src, dest *template.Node, cs *constraint.Set) (bool, string) {
+	ok, reason := verifyRule(src, dest, cs)
+	if ok {
+		obs.Default().Counter("verify_spes_ok").Inc()
+	} else {
+		obs.Default().Counter("verify_spes_fail").Inc()
+	}
+	return ok, reason
+}
+
+func verifyRule(src, dest *template.Node, cs *constraint.Set) (bool, string) {
 	cSrc, cDest, err := Concretize(src, dest, cs)
 	if err != nil {
 		return false, err.Error()

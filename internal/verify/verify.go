@@ -18,9 +18,11 @@ package verify
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"wetune/internal/constraint"
 	"wetune/internal/fol"
+	"wetune/internal/obs"
 	"wetune/internal/smt"
 	"wetune/internal/template"
 	"wetune/internal/uexpr"
@@ -112,8 +114,34 @@ func cancelled(opts Options) bool {
 	return opts.Context != nil && opts.Context.Err() != nil
 }
 
-// VerifyOpts is Verify with explicit options.
+// VerifyOpts is Verify with explicit options. Each call increments the
+// per-verdict counters (verify_builtin_<outcome>, verify_method_<method>) in
+// the default metrics registry and, when the context carries a tracing span,
+// attaches a "verify" child span noting the outcome.
 func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
+	ctx, sp := obs.ChildSpan(opts.Context, "verify")
+	if sp != nil {
+		opts.Context = ctx
+	}
+	rep := verifyOpts(src, dest, cs, opts)
+	reg := obs.Default()
+	reg.Counter("verify_builtin_" + rep.Outcome.String()).Inc()
+	if rep.Outcome == Verified {
+		reg.Counter("verify_method_" + rep.Method.String()).Inc()
+	}
+	note := rep.Outcome.String()
+	if rep.Method != MethodNone {
+		note += "/" + rep.Method.String()
+	}
+	if rep.Detail != "" {
+		note += " " + strings.SplitN(rep.Detail, "\n", 2)[0]
+	}
+	sp.SetNote("%s", note)
+	sp.End()
+	return rep
+}
+
+func verifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
 	if cancelled(opts) {
 		return Report{Outcome: Rejected, Detail: "cancelled"}
 	}

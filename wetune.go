@@ -31,6 +31,7 @@ import (
 	"wetune/internal/constraint"
 	"wetune/internal/datagen"
 	"wetune/internal/engine"
+	"wetune/internal/obs"
 	"wetune/internal/pipeline"
 	"wetune/internal/plan"
 	"wetune/internal/rewrite"
@@ -229,6 +230,20 @@ type DiscoveryOptions struct {
 	// Progress, when set, receives a per-stage stats snapshot at every stage
 	// boundary and periodically during the search. Calls are serialized.
 	Progress func(DiscoveryProgress)
+	// TraceSlow, when > 0, records a timing-span tree per template pair
+	// (pair → prove → verify → smt.solve) and hands the rendered tree of
+	// every pair slower than the threshold to SlowTrace. Zero disables span
+	// recording, which is the default for production sweeps.
+	TraceSlow time.Duration
+	// SlowTrace receives the rendered span tree of each slow pair (see
+	// TraceSlow). Calls are serialized.
+	SlowTrace func(tree string)
+	// UseSMT verifies candidates with the full algebraic+SMT prover instead
+	// of the algebraic-only fast path: slower per pair, proves more rules,
+	// and exercises the solver so smt_* metrics populate. SMT-backed verdicts
+	// live in their own namespace of the shared proof cache, so a cache file
+	// serves both modes without one prover's verdicts masking the other's.
+	UseSMT bool
 }
 
 // DiscoveryStats reports per-stage discovery effort (templates, pairs,
@@ -288,13 +303,23 @@ func Discover(opts DiscoveryOptions) *DiscoveryResult {
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
 	}
-	res := pipeline.Run(ctx, pipeline.Options{
+	popts := pipeline.Options{
 		MaxTemplateSize: opts.MaxTemplateSize,
 		Prover:          pipeline.AlgebraicProver,
 		Workers:         opts.Workers,
 		Cache:           pipeline.Shared(),
 		Progress:        opts.Progress,
-	})
+		TraceSlow:       opts.TraceSlow,
+	}
+	if opts.UseSMT {
+		popts.Prover = pipeline.DefaultProver
+		popts.CacheNamespace = "smt:"
+	}
+	if opts.SlowTrace != nil {
+		slow := opts.SlowTrace
+		popts.SlowPair = func(sp *obs.Span) { slow(sp.Tree()) }
+	}
+	res := pipeline.Run(ctx, popts)
 	out := &DiscoveryResult{
 		Templates:   res.Stats.Templates,
 		PairsTried:  res.Stats.PairsTried,
