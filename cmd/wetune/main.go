@@ -12,6 +12,13 @@
 //	                                            pairs slower than the threshold)
 //	wetune rules                                print the Table 7 rule library
 //	wetune verify                               verify the rule library with both verifiers
+//	wetune fuzz [-seed N] [-n N] [-budget 30s] [-rows N] [-repro FILE] [-all]
+//	                                            differentially test every rule against the
+//	                                            in-memory engine on random schemas/data/queries;
+//	                                            exits 1 on mismatch and writes a shrunken,
+//	                                            replayable counterexample to -repro
+//	wetune fuzz -replay FILE                    re-execute a saved repro and report whether the
+//	                                            mismatch still reproduces
 //	wetune rewrite -q "SELECT ..."              rewrite one query over the demo schema
 //	wetune bench [experiment]                   regenerate evaluation artifacts
 //	                                            (table1 study50 discovery table7 apps
@@ -34,6 +41,7 @@ import (
 
 	"wetune"
 	"wetune/internal/bench"
+	"wetune/internal/difftest"
 	"wetune/internal/obs"
 	"wetune/internal/pipeline"
 	"wetune/internal/rules"
@@ -53,6 +61,8 @@ func main() {
 		cmdRules()
 	case "verify":
 		cmdVerify()
+	case "fuzz":
+		cmdFuzz(os.Args[2:])
 	case "rewrite":
 		cmdRewrite(os.Args[2:])
 	case "bench":
@@ -64,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|rewrite|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|bench> [flags]")
 }
 
 func cmdDiscover(args []string) {
@@ -78,6 +88,7 @@ func cmdDiscover(args []string) {
 	metricsFile := fs.String("metrics", "", "write the metrics registry (stage/proof histograms, SMT outcome and cache counters) as JSON to FILE on exit")
 	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on ADDR, e.g. :6060, while the run is live")
 	traceSlow := fs.Duration("trace-slow", 0, "log the span tree (pair → prove → verify → smt.solve) of every pair slower than this threshold, e.g. 500ms (0 = off)")
+	crossCheck := fs.Bool("crosscheck", false, "differentially test every verifier-accepted rule against the in-memory engine and drop rules the oracle refutes")
 	fs.Parse(args)
 
 	if *cacheFile != "" {
@@ -141,6 +152,7 @@ func cmdDiscover(args []string) {
 		Workers:         *workers,
 		Context:         ctx,
 		TraceSlow:       *traceSlow,
+		CrossCheck:      *crossCheck,
 	}
 	switch *prover {
 	case "full":
@@ -167,6 +179,10 @@ func cmdDiscover(args []string) {
 	fmt.Printf("templates: %d; pairs tried: %d (%d skipped); prover calls: %d; cache hits: %d (%.0f%% hit rate); rules: %d; elapsed: %v\n",
 		res.Templates, res.PairsTried, res.Stats.PairsSkipped, res.ProverCalls, res.CacheHits,
 		100*res.Stats.CacheHitRate(), len(res.Rules), res.Stats.Elapsed.Round(time.Millisecond))
+	if *crossCheck {
+		fmt.Printf("cross-check: %d verifier-accepted rules refuted by the engine oracle and dropped\n",
+			res.Stats.RulesCrossCheckedOut)
+	}
 	for i, r := range res.Rules {
 		fmt.Printf("%4d  %s\n      => %s\n      under %s\n", i+1, r.Source, r.Destination, r.Constraints)
 	}
@@ -196,6 +212,71 @@ func cmdVerify() {
 		fmt.Printf("rule %3d  %-32s builtin=%-10v spes=%v (paper: %s)\n",
 			r.No, r.Name, rep.Outcome, sOK, r.Verifier)
 	}
+}
+
+func cmdFuzz(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "root seed; the same seed replays the same run")
+	n := fs.Int("n", 500, "fuzzing iterations (schema+data+query draws)")
+	budget := fs.Duration("budget", 0, "wall-clock bound for the whole run (0 = none)")
+	rows := fs.Int("rows", 30, "rows per generated table")
+	reproFile := fs.String("repro", "", "write the first mismatch's shrunken counterexample as JSON to FILE")
+	replayFile := fs.String("replay", "", "re-execute a saved repro instead of fuzzing; exits 1 if the mismatch still reproduces")
+	all := fs.Bool("all", false, "keep fuzzing after the first mismatch and report every one")
+	fs.Parse(args)
+
+	if *replayFile != "" {
+		rp, err := difftest.LoadRepro(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz: load repro:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rp.Summary())
+		mismatch, err := rp.Replay()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz: replay:", err)
+			os.Exit(1)
+		}
+		if mismatch {
+			fmt.Println("replay: mismatch REPRODUCES")
+			os.Exit(1)
+		}
+		fmt.Println("replay: plans now agree (mismatch no longer reproduces)")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := difftest.Run(ctx, difftest.Options{
+		Seed:           *seed,
+		N:              *n,
+		Budget:         *budget,
+		RowsPerTable:   *rows,
+		StopOnMismatch: !*all,
+		Progress:       func(line string) { fmt.Fprintln(os.Stderr, line) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: seed=%d iterations=%d candidates=%d mismatches=%d elapsed=%v\n",
+		*seed, rep.Iterations, rep.Candidates, len(rep.Mismatches), rep.Elapsed.Round(time.Millisecond))
+	if len(rep.Mismatches) == 0 {
+		return
+	}
+	for _, m := range rep.Mismatches {
+		fmt.Printf("\nMISMATCH at iteration %d: rule %d (%s)\n%s\n%s\n",
+			m.Iteration, m.RuleNo, m.RuleName, m.Diff, m.Repro.Summary())
+	}
+	if *reproFile != "" {
+		if err := rep.Mismatches[0].Repro.Save(*reproFile); err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz: save repro:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "repro written to %s (replay with: wetune fuzz -replay %s)\n",
+				*reproFile, *reproFile)
+		}
+	}
+	os.Exit(1)
 }
 
 func cmdRewrite(args []string) {

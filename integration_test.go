@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"wetune/internal/datagen"
+	"wetune/internal/difftest"
 	"wetune/internal/engine"
 	"wetune/internal/plan"
 	"wetune/internal/rewrite"
@@ -58,9 +59,10 @@ func TestIntegrationRewritesPreserveResults(t *testing.T) {
 				}
 				continue
 			}
-			if r1.Fingerprint() != r2.Fingerprint() {
-				t.Errorf("%s [%s]: results differ (%d vs %d rows)\n%s\n-> %s (rules %v)",
-					app.Name, q.Tag, len(r1.Rows), len(r2.Rows), q.SQL, plan.ToSQLString(out), applied)
+			if !difftest.BagEqual(r1.Rows, r2.Rows) {
+				t.Errorf("%s [%s]: results differ (rules %v)\n%s\n-> %s\n%s",
+					app.Name, q.Tag, applied, q.SQL, plan.ToSQLString(out),
+					difftest.DiffBags(r1.Rows, r2.Rows))
 			}
 		}
 	}
@@ -100,11 +102,12 @@ func TestIntegrationVerifiedPairsAgreeOnData(t *testing.T) {
 		if err != nil {
 			t.Fatalf("pair %d exec Q2: %v", pair.ID, err)
 		}
-		if r1.Fingerprint() == r2.Fingerprint() {
+		if difftest.BagEqual(r1.Rows, r2.Rows) {
 			agreed++
 		} else {
-			t.Errorf("VERIFIED pair %d (%s) disagrees on data: %d vs %d rows\n  %s\n  %s",
-				pair.ID, pair.Family, len(r1.Rows), len(r2.Rows), pair.Q1, pair.Q2)
+			t.Errorf("VERIFIED pair %d (%s) disagrees on data:\n  %s\n  %s\n%s",
+				pair.ID, pair.Family, pair.Q1, pair.Q2,
+				difftest.DiffBags(r1.Rows, r2.Rows))
 		}
 	}
 	if verified < 50 {

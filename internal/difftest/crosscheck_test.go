@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"testing"
+
+	"wetune/internal/obs"
+	"wetune/internal/rules"
+)
+
+// TestCheckRuleAcceptsDiscoveredRules cross-checks every rule in the shipped
+// rule set: the differential oracle must never contradict the verifier on a
+// rule the paper proves sound. Skips (concretization limits) are fine;
+// mismatches are not.
+func TestCheckRuleAcceptsDiscoveredRules(t *testing.T) {
+	agreed, skipped := 0, 0
+	for _, r := range rules.All() {
+		res, detail := CheckRule(r.Src, r.Dest, r.Constraints, 42)
+		switch res {
+		case Mismatched:
+			t.Errorf("rule %d (%s): oracle contradicts verifier: %s", r.No, r.Name, detail)
+		case Agreed:
+			agreed++
+		case Skipped:
+			skipped++
+			t.Logf("rule %d (%s) skipped: %s", r.No, r.Name, detail)
+		}
+	}
+	if agreed == 0 {
+		t.Fatalf("no rule was actually exercised (all %d skipped)", skipped)
+	}
+	t.Logf("cross-check: %d agreed, %d skipped", agreed, skipped)
+}
+
+// TestCheckRuleCatchesBrokenTemplateRule feeds the crosscheck an unsound
+// template pair and requires a Mismatched verdict plus counter movement.
+func TestCheckRuleCatchesBrokenTemplateRule(t *testing.T) {
+	br := brokenRule()
+	before := obs.Default().Counter("difftest.mismatched").Value()
+	res, detail := CheckRule(br.Src, br.Dest, br.Constraints, 42)
+	if res != Mismatched {
+		t.Fatalf("broken rule passed cross-check: %v (%s)", res, detail)
+	}
+	if got := obs.Default().Counter("difftest.mismatched").Value(); got != before+1 {
+		t.Fatalf("difftest.mismatched counter not incremented: %d -> %d", before, got)
+	}
+	if detail == "" {
+		t.Fatal("expected a diff explanation")
+	}
+}
+
+func TestCheckResultString(t *testing.T) {
+	for res, want := range map[CheckResult]string{Agreed: "agreed", Mismatched: "mismatched", Skipped: "skipped"} {
+		if res.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", res, res.String(), want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wetune/internal/engine"
+	"wetune/internal/plan"
+	"wetune/internal/sql"
+)
+
+// Repro is a self-contained, replayable counterexample artifact: everything
+// needed to rebuild the database and re-execute both plans lives in the JSON —
+// schema as DDL text, rows as tagged scalar strings, plans as SQL text.
+type Repro struct {
+	Seed         int64                 `json:"seed"`
+	RuleNo       int                   `json:"rule_no"`
+	RuleName     string                `json:"rule_name"`
+	DDL          string                `json:"ddl"`
+	Tables       map[string][][]string `json:"tables"`
+	SourceSQL    string                `json:"source_sql"`
+	RewrittenSQL string                `json:"rewritten_sql"`
+	Want         []string              `json:"want"`
+	Got          []string              `json:"got"`
+	ExecError    string                `json:"exec_error,omitempty"`
+}
+
+// NewRepro packages a (shrunken) counterexample. The want/got row sets are
+// captured by executing both plans on the database.
+func NewRepro(seed int64, ruleNo int, ruleName string, schema *sql.Schema,
+	db *engine.DB, src, dst plan.Node) *Repro {
+	rp := &Repro{
+		Seed:         seed,
+		RuleNo:       ruleNo,
+		RuleName:     ruleName,
+		DDL:          sql.FormatDDL(schema),
+		Tables:       map[string][][]string{},
+		SourceSQL:    plan.ToSQLString(src),
+		RewrittenSQL: plan.ToSQLString(dst),
+	}
+	for _, name := range schema.TableNames() {
+		t, ok := db.Table(name)
+		if !ok {
+			continue
+		}
+		rows := make([][]string, len(t.Rows))
+		for i, r := range t.Rows {
+			rows[i] = encodeRow(r)
+		}
+		rp.Tables[name] = rows
+	}
+	if want, err := db.Execute(src, nil); err == nil {
+		rp.Want = CanonRows(want.Rows)
+	} else {
+		rp.ExecError = "source: " + err.Error()
+	}
+	if got, err := db.Execute(dst, nil); err == nil {
+		rp.Got = CanonRows(got.Rows)
+	} else {
+		rp.ExecError = "rewritten: " + err.Error()
+	}
+	return rp
+}
+
+// Save writes the repro as indented JSON.
+func (rp *Repro) Save(path string) error {
+	data, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro artifact from disk.
+func LoadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rp := &Repro{}
+	if err := json.Unmarshal(data, rp); err != nil {
+		return nil, fmt.Errorf("difftest: parse repro %s: %w", path, err)
+	}
+	return rp, nil
+}
+
+// Replay rebuilds the database from the artifact, re-executes both SQL
+// strings through the full parse→build→execute path, and reports whether the
+// disagreement still reproduces. A false return with nil error means the
+// plans now agree (the bug is fixed or the artifact is stale).
+func (rp *Repro) Replay() (bool, error) {
+	schema, err := sql.ParseDDL(rp.DDL)
+	if err != nil {
+		return false, fmt.Errorf("difftest: replay DDL: %w", err)
+	}
+	db := engine.NewDB(schema)
+	for _, name := range schema.TableNames() {
+		for i, enc := range rp.Tables[name] {
+			row, err := decodeRow(enc)
+			if err != nil {
+				return false, fmt.Errorf("difftest: replay %s row %d: %w", name, i, err)
+			}
+			if err := db.Insert(name, row); err != nil {
+				return false, fmt.Errorf("difftest: replay %s row %d: %w", name, i, err)
+			}
+		}
+	}
+	src, err := plan.BuildSQL(rp.SourceSQL, schema)
+	if err != nil {
+		return false, fmt.Errorf("difftest: replay source SQL: %w", err)
+	}
+	dst, err := plan.BuildSQL(rp.RewrittenSQL, schema)
+	if err != nil {
+		return false, fmt.Errorf("difftest: replay rewritten SQL: %w", err)
+	}
+	want, err := db.Execute(src, nil)
+	if err != nil {
+		return false, fmt.Errorf("difftest: replay execute source: %w", err)
+	}
+	got, err := db.Execute(dst, nil)
+	if err != nil {
+		// The original failure mode may be exactly this.
+		return true, nil
+	}
+	return !BagEqual(want.Rows, got.Rows), nil
+}
+
+// Summary renders a human-readable one-paragraph description.
+func (rp *Repro) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %d (%s), seed %d: source and rewritten plans disagree\n",
+		rp.RuleNo, rp.RuleName, rp.Seed)
+	fmt.Fprintf(&b, "  source:    %s\n", rp.SourceSQL)
+	fmt.Fprintf(&b, "  rewritten: %s\n", rp.RewrittenSQL)
+	rows := 0
+	for _, t := range rp.Tables {
+		rows += len(t)
+	}
+	fmt.Fprintf(&b, "  data: %d tables, %d rows", len(rp.Tables), rows)
+	if rp.ExecError != "" {
+		fmt.Fprintf(&b, "\n  exec error: %s", rp.ExecError)
+	} else {
+		fmt.Fprintf(&b, "; %d vs %d result rows", len(rp.Want), len(rp.Got))
+	}
+	return b.String()
+}
+
+// encodeRow renders each value with a one-letter type tag so decoding is
+// unambiguous ("n" NULL, "i:" int, "f:" float, "s:" string, "b:" bool).
+func encodeRow(r engine.Row) []string {
+	out := make([]string, len(r))
+	for i, v := range r {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeValue(v sql.Value) string {
+	switch v.Kind {
+	case sql.KindNull:
+		return "n"
+	case sql.KindInt:
+		return "i:" + strconv.FormatInt(v.I, 10)
+	case sql.KindFloat:
+		return "f:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case sql.KindString:
+		return "s:" + v.S
+	case sql.KindBool:
+		return "b:" + strconv.FormatBool(v.B)
+	}
+	return "n"
+}
+
+func decodeRow(enc []string) (engine.Row, error) {
+	row := make(engine.Row, len(enc))
+	for i, s := range enc {
+		v, err := decodeValue(s)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func decodeValue(s string) (sql.Value, error) {
+	if s == "n" {
+		return sql.Null, nil
+	}
+	tag, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return sql.Null, fmt.Errorf("bad value encoding %q", s)
+	}
+	switch tag {
+	case "i":
+		i, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return sql.Null, err
+		}
+		return sql.NewInt(i), nil
+	case "f":
+		f, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return sql.Null, err
+		}
+		return sql.NewFloat(f), nil
+	case "s":
+		return sql.NewString(rest), nil
+	case "b":
+		b, err := strconv.ParseBool(rest)
+		if err != nil {
+			return sql.Null, err
+		}
+		return sql.NewBool(b), nil
+	}
+	return sql.Null, fmt.Errorf("bad value encoding %q", s)
+}

@@ -1,0 +1,68 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wetune/internal/sql"
+)
+
+// GenSchema draws a random schema: 1–3 tables with mixed column types, an
+// integer primary key, optional single-column unique keys, NOT NULL columns,
+// and (when there is more than one table) optional single-column foreign keys
+// from later tables to earlier ones. Every draw comes from rng, so the same
+// seed yields the same schema.
+//
+// Column names are prefixed with their table (t0_a, t1_b, …) so that column
+// references stay unambiguous through joins and alias-repair heuristics in the
+// rewriter never face two identically-named columns from different tables.
+func GenSchema(rng *rand.Rand) *sql.Schema {
+	s := sql.NewSchema()
+	nTables := 1 + rng.Intn(3)
+	colTypes := []sql.ColumnType{sql.TInt, sql.TInt, sql.TString, sql.TFloat, sql.TBool}
+	for ti := 0; ti < nTables; ti++ {
+		name := fmt.Sprintf("t%d", ti)
+		def := &sql.TableDef{Name: name}
+		// Integer primary key: datagen assigns sequential keys, and foreign
+		// keys reference parents by integer position.
+		pk := fmt.Sprintf("%s_id", name)
+		def.Columns = append(def.Columns, sql.Column{Name: pk, Type: sql.TInt, NotNull: true})
+		def.PrimaryKey = []string{pk}
+		nCols := 2 + rng.Intn(3)
+		for ci := 0; ci < nCols; ci++ {
+			col := sql.Column{
+				Name: fmt.Sprintf("%s_%c", name, 'a'+ci),
+				Type: colTypes[rng.Intn(len(colTypes))],
+			}
+			if rng.Intn(3) == 0 {
+				col.NotNull = true
+			}
+			def.Columns = append(def.Columns, col)
+		}
+		// Occasionally a unique secondary key (datagen keeps it sequential).
+		if rng.Intn(3) == 0 {
+			u := sql.Column{Name: fmt.Sprintf("%s_u", name), Type: sql.TInt, NotNull: rng.Intn(2) == 0}
+			def.Columns = append(def.Columns, u)
+			def.Uniques = append(def.Uniques, []string{u.Name})
+		}
+		// Foreign key to an earlier table (single column; datagen only fills
+		// single-column references).
+		if ti > 0 && rng.Intn(2) == 0 {
+			parent := fmt.Sprintf("t%d", rng.Intn(ti))
+			fk := sql.Column{Name: fmt.Sprintf("%s_ref", name), Type: sql.TInt, NotNull: rng.Intn(2) == 0}
+			def.Columns = append(def.Columns, fk)
+			def.ForeignKeys = append(def.ForeignKeys, sql.ForeignKey{
+				Columns:    []string{fk.Name},
+				RefTable:   parent,
+				RefColumns: []string{fmt.Sprintf("%s_id", parent)},
+			})
+		}
+		s.AddTable(def)
+	}
+	if err := s.Validate(); err != nil {
+		// Generation is by construction valid; a failure here is a bug in the
+		// generator itself and must surface loudly.
+		panic(fmt.Sprintf("difftest: generated schema invalid: %v", err))
+	}
+	return s
+}

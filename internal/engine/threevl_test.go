@@ -1,0 +1,192 @@
+// Three-valued-logic regression tests, external package: they drive the
+// engine through the public surface and cross-check it with the difftest
+// comparison helpers (difftest imports engine, so an internal test package
+// would cycle).
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wetune/internal/difftest"
+	"wetune/internal/engine"
+	"wetune/internal/plan"
+	"wetune/internal/sql"
+)
+
+// TestBool3TruthTables pins the full Kleene truth tables — the exact
+// semantics OUTER JOIN padding and WHERE filtering depend on.
+func TestBool3TruthTables(t *testing.T) {
+	F, T, U := sql.False3, sql.True3, sql.Unknown3
+	and := [][3]sql.Bool3{
+		{F, F, F}, {F, T, F}, {F, U, F},
+		{T, F, F}, {T, T, T}, {T, U, U},
+		{U, F, F}, {U, T, U}, {U, U, U},
+	}
+	for _, c := range and {
+		if got := sql.And3(c[0], c[1]); got != c[2] {
+			t.Errorf("And3(%v, %v) = %v, want %v", c[0], c[1], got, c[2])
+		}
+	}
+	or := [][3]sql.Bool3{
+		{F, F, F}, {F, T, T}, {F, U, U},
+		{T, F, T}, {T, T, T}, {T, U, T},
+		{U, F, U}, {U, T, T}, {U, U, U},
+	}
+	for _, c := range or {
+		if got := sql.Or3(c[0], c[1]); got != c[2] {
+			t.Errorf("Or3(%v, %v) = %v, want %v", c[0], c[1], got, c[2])
+		}
+	}
+	not := [][2]sql.Bool3{{F, T}, {T, F}, {U, U}}
+	for _, c := range not {
+		if got := sql.Not3(c[0]); got != c[1] {
+			t.Errorf("Not3(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+	// Any NULL operand makes every comparison Unknown — including NULL = NULL.
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		if got := sql.Compare3VL(op, sql.Null, sql.NewInt(1)); got != U {
+			t.Errorf("Compare3VL(%q, NULL, 1) = %v, want Unknown", op, got)
+		}
+		if got := sql.Compare3VL(op, sql.Null, sql.Null); got != U {
+			t.Errorf("Compare3VL(%q, NULL, NULL) = %v, want Unknown", op, got)
+		}
+	}
+}
+
+func threevlDB(t *testing.T) (*sql.Schema, *engine.DB) {
+	t.Helper()
+	schema := sql.MustParseDDL(`
+CREATE TABLE t (
+    id INT NOT NULL,
+    a INT,
+    b INT,
+    PRIMARY KEY (id)
+);
+CREATE TABLE u (
+    id INT NOT NULL,
+    a INT,
+    PRIMARY KEY (id)
+);`)
+	db := engine.NewDB(schema)
+	rows := []engine.Row{
+		{sql.NewInt(1), sql.NewInt(10), sql.NewInt(10)},
+		{sql.NewInt(2), sql.NewInt(20), sql.Null},
+		{sql.NewInt(3), sql.Null, sql.NewInt(30)},
+		{sql.NewInt(4), sql.Null, sql.Null},
+		{sql.NewInt(5), sql.NewInt(10), sql.NewInt(99)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("t", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	urows := []engine.Row{
+		{sql.NewInt(1), sql.NewInt(10)},
+		{sql.NewInt(2), sql.Null},
+		{sql.NewInt(3), sql.NewInt(77)},
+	}
+	for _, r := range urows {
+		if err := db.Insert("u", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return schema, db
+}
+
+// TestWhereFiltersUnknown checks that WHERE keeps only TRUE rows: UNKNOWN
+// (NULL-involving) predicates must filter the row out, and NOT UNKNOWN is
+// still UNKNOWN, not TRUE.
+func TestWhereFiltersUnknown(t *testing.T) {
+	schema, db := threevlDB(t)
+	cases := []struct {
+		query string
+		want  []int64 // expected t.id set, in id order
+	}{
+		{"SELECT t.id FROM t WHERE t.a = 10", []int64{1, 5}},
+		{"SELECT t.id FROM t WHERE NOT t.a = 10", []int64{2}},
+		// NULL = NULL is UNKNOWN, never TRUE.
+		{"SELECT t.id FROM t WHERE t.a = t.b", []int64{1}},
+		{"SELECT t.id FROM t WHERE NOT t.a = t.b", []int64{5}},
+		{"SELECT t.id FROM t WHERE t.a IS NULL", []int64{3, 4}},
+		{"SELECT t.id FROM t WHERE t.a IS NOT NULL", []int64{1, 2, 5}},
+		// UNKNOWN OR TRUE = TRUE; UNKNOWN AND TRUE = UNKNOWN (filtered).
+		{"SELECT t.id FROM t WHERE t.a = 10 OR t.b = 30", []int64{1, 3, 5}},
+		{"SELECT t.id FROM t WHERE t.a = 10 AND t.b = 10", []int64{1}},
+		// IN over a list with NULL: matches stay TRUE, the rest are UNKNOWN.
+		{"SELECT t.id FROM t WHERE t.a IN (10, NULL)", []int64{1, 5}},
+		{"SELECT t.id FROM t WHERE NOT t.a IN (10, NULL)", nil},
+		// IN-subquery whose result contains NULL: non-members are UNKNOWN,
+		// so NOT IN returns nothing.
+		{"SELECT t.id FROM t WHERE t.a IN (SELECT u.a FROM u)", []int64{1, 5}},
+		{"SELECT t.id FROM t WHERE NOT t.a IN (SELECT u.a FROM u)", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.query, func(t *testing.T) {
+			p, err := plan.BuildSQL(c.query, schema)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			res, err := db.Execute(p, nil)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			rows := res.Rows
+			difftest.SortRows(rows)
+			var got []int64
+			for _, r := range rows {
+				got = append(got, r[0].I)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(c.want) {
+				t.Errorf("got ids %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestJoinStrategiesAgree executes every join kind twice — once with a pure
+// equi-join predicate (hash-join path) and once with a redundant `AND 1 = 1`
+// conjunct that defeats EquiCols and forces the nested-loop path — and
+// requires identical bags. NULL join keys must never match, and outer padding
+// must behave the same in both strategies.
+func TestJoinStrategiesAgree(t *testing.T) {
+	schema, db := threevlDB(t)
+	for _, kind := range []string{"INNER", "LEFT", "RIGHT"} {
+		t.Run(kind, func(t *testing.T) {
+			hashQ := fmt.Sprintf(
+				"SELECT t.id, u.id FROM t %s JOIN u ON t.a = u.a", kind)
+			loopQ := fmt.Sprintf(
+				"SELECT t.id, u.id FROM t %s JOIN u ON t.a = u.a AND 1 = 1", kind)
+			hp, err := plan.BuildSQL(hashQ, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, err := plan.BuildSQL(loopQ, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hres, err := db.Execute(hp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lres, err := db.Execute(lp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !difftest.BagEqual(hres.Rows, lres.Rows) {
+				t.Errorf("hash and nested-loop %s JOIN disagree:\n%s",
+					kind, difftest.DiffBags(hres.Rows, lres.Rows))
+			}
+			// NULL keys never join: rows with t.a NULL may only appear
+			// NULL-padded (LEFT), never matched.
+			for _, r := range hres.Rows {
+				tid, uid := r[0], r[1]
+				if !tid.IsNull() && (tid.I == 3 || tid.I == 4) && !uid.IsNull() {
+					t.Errorf("%s JOIN matched a NULL key: t.id=%d joined u.id=%d",
+						kind, tid.I, uid.I)
+				}
+			}
+		})
+	}
+}

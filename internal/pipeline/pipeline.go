@@ -42,6 +42,7 @@ const (
 	metricPairsTried     = "pipeline_pairs_tried"
 	metricPairsSkipped   = "pipeline_pairs_skipped"
 	metricRulesFound     = "pipeline_rules_found"
+	metricRulesXChecked  = "pipeline_rules_crosschecked_out"
 )
 
 // Rule is a discovered rewrite rule <q_src, q_dest, C>.
@@ -133,6 +134,13 @@ type Options struct {
 	// SlowPair receives the root span of each pair slower than TraceSlow.
 	// Calls are serialized. Nil drops the trees (histograms still record).
 	SlowPair func(*obs.Span)
+	// CrossCheck, when set, is called for every verifier-accepted rule before
+	// it is emitted; returning false drops the rule. The standard hook is the
+	// differential-testing oracle (difftest.CheckRule via wetune.Discover),
+	// which executes both templates on concrete data and compares results
+	// under bag semantics. Calls happen on worker goroutines and must be
+	// thread-safe; ctx is the pair's context (cancellation-aware).
+	CrossCheck func(ctx context.Context, r Rule) bool
 }
 
 func (o *Options) fill() {
@@ -186,7 +194,10 @@ type Stats struct {
 	CacheSize int
 	// Outcome.
 	RulesFound int64
-	Elapsed    time.Duration
+	// RulesCrossCheckedOut counts verifier-accepted rules dropped by the
+	// CrossCheck hook (always 0 when the hook is unset).
+	RulesCrossCheckedOut int64
+	Elapsed              time.Duration
 }
 
 // CacheHitRate returns the in-run proof-cache hit rate in [0, 1], or 0 before
@@ -218,6 +229,7 @@ type counters struct {
 	cacheHits       atomic.Int64
 	cacheMisses     atomic.Int64
 	rulesFound      atomic.Int64
+	crossCheckedOut atomic.Int64
 	start           time.Time
 	// cache, when set, contributes its size to snapshots (hit/miss deltas are
 	// tracked per-run in cacheHits/cacheMisses above, so shared caches do not
@@ -234,9 +246,10 @@ func (c *counters) snapshot() Stats {
 		PairsSkipped:    c.pairsSkipped.Load(),
 		ProverCalls:     c.proverCalls.Load(),
 		CacheHits:       c.cacheHits.Load(),
-		CacheMisses:     c.cacheMisses.Load(),
-		RulesFound:      c.rulesFound.Load(),
-		Elapsed:         time.Since(c.start),
+		CacheMisses:          c.cacheMisses.Load(),
+		RulesFound:           c.rulesFound.Load(),
+		RulesCrossCheckedOut: c.crossCheckedOut.Load(),
+		Elapsed:              time.Since(c.start),
 	}
 	if c.cache != nil {
 		st.CacheSize = c.cache.Len()
@@ -267,7 +280,7 @@ func Run(ctx context.Context, opts Options) *Result {
 	// from one that was never wired ("0 cache hits" on a cold run is signal).
 	for _, name := range []string{
 		metricCacheHits, metricCacheMisses, metricPairsTried,
-		metricPairsSkipped, metricRulesFound,
+		metricPairsSkipped, metricRulesFound, metricRulesXChecked,
 	} {
 		reg.Counter(name)
 	}
@@ -344,6 +357,7 @@ func Run(ctx context.Context, opts Options) *Result {
 				}
 				begin := time.Now()
 				rules := searchPair(pctx, p.src, p.dest, opts, ct)
+				rules = applyCrossCheck(pctx, rules, opts, ct)
 				pairHist.Observe(time.Since(begin))
 				if sp != nil {
 					sp.SetNote("%d rules", len(rules))
@@ -383,6 +397,26 @@ func RunPair(ctx context.Context, src, dest *template.Node, opts Options) ([]Rul
 	}
 	ct := &counters{start: time.Now(), templates: 2, cache: opts.Cache}
 	rules := searchPair(ctx, src, dest, opts, ct)
+	rules = applyCrossCheck(ctx, rules, opts, ct)
 	ct.rulesFound.Add(int64(len(rules)))
 	return rules, ct.snapshot()
+}
+
+// applyCrossCheck filters verifier-accepted rules through the optional
+// CrossCheck hook, dropping rules the hook rejects. Drops are counted both in
+// the run's Stats and in the metrics registry.
+func applyCrossCheck(ctx context.Context, rules []Rule, opts Options, ct *counters) []Rule {
+	if opts.CrossCheck == nil || len(rules) == 0 {
+		return rules
+	}
+	kept := rules[:0]
+	for _, r := range rules {
+		if opts.CrossCheck(ctx, r) {
+			kept = append(kept, r)
+		} else {
+			ct.crossCheckedOut.Add(1)
+			opts.Metrics.Counter(metricRulesXChecked).Inc()
+		}
+	}
+	return kept
 }

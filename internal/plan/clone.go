@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"fmt"
+
+	"wetune/internal/sql"
+)
+
+// Clone returns a deep copy of a plan: node structs, column slices, and every
+// embedded expression are copied, so mutating the clone — including literal
+// values reached through its predicates — cannot affect the original. Rule
+// application shares untouched subtrees between the input plan and its
+// rewrites; callers that mutate plans (e.g. counterexample shrinking) must
+// clone first.
+func Clone(n Node) Node {
+	switch x := n.(type) {
+	case nil:
+		return nil
+	case *Scan:
+		cp := *x
+		cp.Cols = append([]ColRef{}, x.Cols...)
+		return &cp
+	case *Derived:
+		return &Derived{Binding: x.Binding, In: Clone(x.In)}
+	case *Sel:
+		return &Sel{Pred: sql.CloneExpr(x.Pred), In: Clone(x.In)}
+	case *InSub:
+		return &InSub{Cols: append([]ColRef{}, x.Cols...), In: Clone(x.In), Sub: Clone(x.Sub)}
+	case *Join:
+		return &Join{JoinKind: x.JoinKind, On: sql.CloneExpr(x.On), L: Clone(x.L), R: Clone(x.R)}
+	case *Dedup:
+		return &Dedup{In: Clone(x.In)}
+	case *Proj:
+		items := make([]ProjItem, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = ProjItem{Expr: sql.CloneExpr(it.Expr), Alias: it.Alias}
+		}
+		return &Proj{Items: items, In: Clone(x.In)}
+	case *Agg:
+		items := make([]AggItem, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = AggItem{Func: it.Func, Arg: sql.CloneExpr(it.Arg), Star: it.Star, Distinct: it.Distinct, Alias: it.Alias}
+		}
+		return &Agg{
+			GroupBy: append([]ColRef{}, x.GroupBy...),
+			Items:   items,
+			Having:  sql.CloneExpr(x.Having),
+			In:      Clone(x.In),
+		}
+	case *Union:
+		return &Union{All: x.All, L: Clone(x.L), R: Clone(x.R)}
+	case *Sort:
+		return &Sort{Keys: append([]SortKey{}, x.Keys...), In: Clone(x.In)}
+	case *Limit:
+		return &Limit{N: x.N, In: Clone(x.In)}
+	}
+	panic(fmt.Sprintf("plan: Clone cannot copy %T", n))
+}

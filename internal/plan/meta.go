@@ -174,7 +174,10 @@ func UniqueOn(n Node, cols []ColRef, schema *sql.Schema) bool {
 	case *Join:
 		// All cols from one side, that side unique on them, and the other
 		// side contributes at most one match per row (its equi-join columns
-		// are unique).
+		// are unique). Outer-join padding NULLs the side opposite the
+		// preserved one, so cols must come from the preserved side: a RIGHT
+		// JOIN emits one NULL-padded left tuple per unmatched right row,
+		// duplicating NULLs in left-side columns (and symmetrically for LEFT).
 		lc, rc, ok := x.EquiCols()
 		if !ok {
 			return false
@@ -188,10 +191,12 @@ func UniqueOn(n Node, cols []ColRef, schema *sql.Schema) bool {
 				allLeft = false
 			}
 		}
-		if allLeft && UniqueOn(x.L, cols, schema) && UniqueOn(x.R, rc, schema) {
+		if allLeft && x.JoinKind != sql.RightJoin &&
+			UniqueOn(x.L, cols, schema) && UniqueOn(x.R, rc, schema) {
 			return true
 		}
-		if allRight && x.JoinKind == sql.InnerJoin && UniqueOn(x.R, cols, schema) && UniqueOn(x.L, lc, schema) {
+		if allRight && x.JoinKind != sql.LeftJoin &&
+			UniqueOn(x.R, cols, schema) && UniqueOn(x.L, lc, schema) {
 			return true
 		}
 		return false

@@ -36,6 +36,18 @@ type queryParts struct {
 	compound *sql.SelectStmt // set when the subtree is a UNION
 
 	outCols []ColRef
+	// rendered maps a plan-space output column to the SQL expression that
+	// denotes it in this SELECT's scope. Proj/Agg fill it when a derived-table
+	// wrap renamed the underlying column (plan-space `s1.t0_a` may render as
+	// `q1.t0_a_2`); Sort reads it so ORDER BY keys reference live names.
+	rendered map[ColRef]sql.Expr
+}
+
+func (q *queryParts) renderAs(c ColRef, e sql.Expr) {
+	if q.rendered == nil {
+		q.rendered = map[ColRef]sql.Expr{}
+	}
+	q.rendered[c] = e
 }
 
 func (q *queryParts) hasItems() bool    { return len(q.items) > 0 || len(q.groupBy) > 0 }
@@ -65,19 +77,64 @@ func (q *queryParts) finish() *sql.SelectStmt {
 }
 
 // wrap turns accumulated parts into a derived table so further operators can
-// start with fresh clause slots.
+// start with fresh clause slots. When the subtree exposes duplicate column
+// names (a self-join yields two copies of every column), the duplicates get
+// explicit aliases so outer references through the derived alias stay
+// unambiguous.
 func (p *sqlPrinter) wrap(q *queryParts) *queryParts {
 	p.aliasN++
 	alias := fmt.Sprintf("q%d", p.aliasN)
-	inner := q.finish()
-	cols := make([]ColRef, len(q.outCols))
-	for i, c := range q.outCols {
-		cols[i] = ColRef{Table: alias, Column: c.Column}
+	outCols := q.outCols
+	aliased := make([]string, len(outCols))
+	for i, c := range outCols {
+		aliased[i] = c.Column
 	}
-	return &queryParts{
+	names := map[string]int{}
+	hasDup := false
+	for _, c := range outCols {
+		names[c.Column]++
+		if names[c.Column] > 1 {
+			hasDup = true
+		}
+	}
+	if hasDup && q.compound == nil {
+		if len(q.items) == 0 && len(q.groupBy) == 0 {
+			// Star select: materialize explicit items so they can be aliased.
+			for _, c := range outCols {
+				q.items = append(q.items, sql.SelectItem{
+					Expr: &sql.ColumnRef{Table: c.Table, Column: c.Column},
+				})
+			}
+		}
+		if len(q.items) == len(outCols) {
+			seen := map[string]int{}
+			for i := range q.items {
+				name := outCols[i].Column
+				seen[name]++
+				if seen[name] > 1 {
+					name = fmt.Sprintf("%s_%d", name, seen[name])
+					q.items[i].Alias = name
+				}
+				aliased[i] = name
+			}
+		}
+	}
+	inner := q.finish()
+	cols := make([]ColRef, len(outCols))
+	for i := range outCols {
+		cols[i] = ColRef{Table: alias, Column: aliased[i]}
+	}
+	out := &queryParts{
 		from:    &sql.SubqueryTable{Select: inner, Alias: alias},
 		outCols: cols,
 	}
+	// Persist the plan-space -> derived-alias mapping so operators that fold
+	// later without triggering their own wrap (Sort, chiefly) can still name
+	// the wrapped columns.
+	for i := range outCols {
+		out.renderAs(outCols[i], &sql.ColumnRef{Table: alias, Column: aliased[i]})
+	}
+	return out
 }
 
 func (p *sqlPrinter) fold(n Node) *queryParts {
@@ -97,21 +154,23 @@ func (p *sqlPrinter) fold(n Node) *queryParts {
 		}
 	case *Sel:
 		q := p.fold(x.In)
+		pred := x.Pred
 		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			before := q.outCols
 			q = p.wrap(q)
+			pred = remapWrapped(pred, before, q.outCols)
 		}
-		q.where = append(q.where, x.Pred)
+		q.where = append(q.where, pred)
 		return q
 	case *InSub:
-		beforeIn := x.In.OutCols()
 		q := p.fold(x.In)
+		var before []ColRef
 		wrapped := false
 		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			before = q.outCols
 			q = p.wrap(q)
 			wrapped = true
 		}
-		_ = beforeIn
-		_ = wrapped
 		sub := p.fold(x.Sub).finish()
 		var left sql.Expr
 		if len(x.Cols) == 1 {
@@ -122,6 +181,9 @@ func (p *sqlPrinter) fold(n Node) *queryParts {
 				t.Items = append(t.Items, &sql.ColumnRef{Table: c.Table, Column: c.Column})
 			}
 			left = t
+		}
+		if wrapped {
+			left = remapWrapped(left, before, q.outCols)
 		}
 		q.where = append(q.where, &sql.InSubquery{E: left, Select: sub})
 		return q
@@ -146,13 +208,36 @@ func (p *sqlPrinter) fold(n Node) *queryParts {
 		}
 	case *Proj:
 		q := p.fold(x.In)
+		var before []ColRef
+		wrapped := false
 		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			before = q.outCols
 			q = p.wrap(q)
+			wrapped = true
 		}
-		for _, it := range x.Items {
-			q.items = append(q.items, sql.SelectItem{Expr: it.Expr, Alias: it.Alias})
+		outs := x.OutCols()
+		for i, it := range x.Items {
+			e := it.Expr
+			if wrapped {
+				e = remapWrapped(e, before, q.outCols)
+			}
+			alias := it.Alias
+			if alias == "" {
+				// A wrap may have renamed the underlying column (self-join
+				// duplicates get _N suffixes); alias the item back to its
+				// plan-space output name so the output schema stays stable.
+				if cr, ok := e.(*sql.ColumnRef); ok && cr.Column != outs[i].Column {
+					alias = outs[i].Column
+				}
+			}
+			q.items = append(q.items, sql.SelectItem{Expr: e, Alias: alias})
+			if cr, ok := e.(*sql.ColumnRef); ok {
+				q.renderAs(outs[i], cr)
+			} else if alias != "" {
+				q.renderAs(outs[i], &sql.ColumnRef{Column: alias})
+			}
 		}
-		q.outCols = x.OutCols()
+		q.outCols = outs
 		return q
 	case *Dedup:
 		q := p.fold(x.In)
@@ -163,23 +248,42 @@ func (p *sqlPrinter) fold(n Node) *queryParts {
 		return q
 	case *Agg:
 		q := p.fold(x.In)
+		var before []ColRef
+		wrapped := false
 		if q.compound != nil || q.hasItems() || q.distinct || q.hasOrdering() {
+			before = q.outCols
 			q = p.wrap(q)
+			wrapped = true
 		}
-		for _, g := range x.GroupBy {
-			gref := &sql.ColumnRef{Table: g.Table, Column: g.Column}
+		remap := func(e sql.Expr) sql.Expr {
+			if wrapped {
+				return remapWrapped(e, before, q.outCols)
+			}
+			return e
+		}
+		outs := x.OutCols()
+		for i, g := range x.GroupBy {
+			gref := remap(&sql.ColumnRef{Table: g.Table, Column: g.Column})
 			q.groupBy = append(q.groupBy, gref)
-			q.items = append(q.items, sql.SelectItem{Expr: gref})
+			item := sql.SelectItem{Expr: gref}
+			if cr, ok := gref.(*sql.ColumnRef); ok {
+				if cr.Column != outs[i].Column {
+					// Same renaming hazard as Proj: keep the plan-space name.
+					item.Alias = outs[i].Column
+				}
+				q.renderAs(outs[i], cr)
+			}
+			q.items = append(q.items, item)
 		}
 		for _, it := range x.Items {
 			f := &sql.FuncCall{Name: it.Func, Star: it.Star, Distinct: it.Distinct}
 			if it.Arg != nil {
-				f.Args = []sql.Expr{it.Arg}
+				f.Args = []sql.Expr{remap(it.Arg)}
 			}
 			q.items = append(q.items, sql.SelectItem{Expr: f, Alias: it.Alias})
 		}
-		q.having = x.Having
-		q.outCols = x.OutCols()
+		q.having = remap(x.Having)
+		q.outCols = outs
 		return q
 	case *Union:
 		l := p.fold(x.L).finish()
@@ -194,14 +298,24 @@ func (p *sqlPrinter) fold(n Node) *queryParts {
 		}
 	case *Sort:
 		q := p.fold(x.In)
+		var before []ColRef
+		wrapped := false
 		if q.hasOrdering() {
+			before = q.outCols
 			q = p.wrap(q)
+			wrapped = true
 		}
 		for _, k := range x.Keys {
-			q.orderBy = append(q.orderBy, sql.OrderItem{
-				Expr: &sql.ColumnRef{Table: k.Col.Table, Column: k.Col.Column},
-				Desc: k.Desc,
-			})
+			var e sql.Expr = &sql.ColumnRef{Table: k.Col.Table, Column: k.Col.Column}
+			if wrapped {
+				e = remapWrapped(e, before, q.outCols)
+			} else if r, ok := q.rendered[k.Col]; ok {
+				// The key's plan-space column may render under another name
+				// below (Agg/Proj over a wrapped self-join); use the live
+				// expression recorded by the fold that renamed it.
+				e = r
+			}
+			q.orderBy = append(q.orderBy, sql.OrderItem{Expr: e, Desc: k.Desc})
 		}
 		return q
 	case *Limit:
@@ -240,6 +354,28 @@ func remapWrapped(e sql.Expr, before, after []ColRef) sql.Expr {
 			return &sql.UnaryExpr{Op: x.Op, E: rec(x.E)}
 		case *sql.IsNullExpr:
 			return &sql.IsNullExpr{E: rec(x.E), Negated: x.Negated}
+		case *sql.InListExpr:
+			out := &sql.InListExpr{E: rec(x.E), Negated: x.Negated}
+			for _, it := range x.List {
+				out.List = append(out.List, rec(it))
+			}
+			return out
+		case *sql.InSubquery:
+			// The subquery keeps its own scope; only the tested expression
+			// lives in the wrapped scope.
+			return &sql.InSubquery{E: rec(x.E), Select: x.Select, Negated: x.Negated}
+		case *sql.TupleExpr:
+			out := &sql.TupleExpr{}
+			for _, it := range x.Items {
+				out.Items = append(out.Items, rec(it))
+			}
+			return out
+		case *sql.FuncCall:
+			out := &sql.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+			for _, a := range x.Args {
+				out.Args = append(out.Args, rec(a))
+			}
+			return out
 		default:
 			return e
 		}

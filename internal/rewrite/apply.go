@@ -119,15 +119,31 @@ func (r *resolver) relocate(sym template.Sym, a attrsBinding) attrsBinding {
 		remapped := make([]plan.ColRef, len(a.cols))
 		ok := true
 		for i, col := range a.cols {
-			found := false
+			// A column the relation already exposes stays put: relocation only
+			// moves columns that live on the other instance of the relation.
+			// Without this, a self-join (both instances expose every column
+			// name) would silently rebind the attribute to the wrong instance.
+			exact := false
 			for _, oc := range out {
-				if oc.Column == col.Column {
+				if oc == col {
 					remapped[i] = oc
-					found = true
+					exact = true
 					break
 				}
 			}
-			if !found {
+			if exact {
+				continue
+			}
+			matches := 0
+			for _, oc := range out {
+				if oc.Column == col.Column {
+					remapped[i] = oc
+					matches++
+				}
+			}
+			if matches != 1 {
+				// Missing or ambiguous target: relocation would guess, so keep
+				// the original binding instead.
 				ok = false
 				break
 			}
@@ -141,11 +157,11 @@ func (r *resolver) relocate(sym template.Sym, a attrsBinding) attrsBinding {
 
 func (r *resolver) pred(sym template.Sym) (sql.Expr, error) {
 	if p, ok := r.b.preds[sym]; ok {
-		return p, nil
+		return p.expr, nil
 	}
 	for _, s := range r.reps[sym] {
 		if p, ok := r.b.preds[s]; ok {
-			return p, nil
+			return p.expr, nil
 		}
 	}
 	return nil, fmt.Errorf("rewrite: unbound predicate symbol %s", sym)
@@ -440,6 +456,32 @@ func validate(n plan.Node) error {
 			for _, c := range predColumns(x.On) {
 				if !resolvable(all, c) {
 					return fmt.Errorf("rewrite: dangling join column %s", c)
+				}
+			}
+		case *plan.Agg:
+			in := x.In.OutCols()
+			for _, c := range x.GroupBy {
+				if !resolvable(in, c) {
+					return fmt.Errorf("rewrite: dangling group-by column %s", c)
+				}
+			}
+			for _, it := range x.Items {
+				for _, c := range predColumns(it.Arg) {
+					if !resolvable(in, c) {
+						return fmt.Errorf("rewrite: dangling aggregate column %s", c)
+					}
+				}
+			}
+			for _, c := range predColumns(x.Having) {
+				if !resolvable(in, c) && !resolvable(x.OutCols(), c) {
+					return fmt.Errorf("rewrite: dangling HAVING column %s", c)
+				}
+			}
+		case *plan.Sort:
+			in := x.In.OutCols()
+			for _, k := range x.Keys {
+				if !resolvable(in, k.Col) {
+					return fmt.Errorf("rewrite: dangling sort column %s", k.Col)
 				}
 			}
 		}

@@ -23,11 +23,18 @@ type attrsBinding struct {
 	owner plan.Node
 }
 
+// predBinding records the concrete predicate a predicate symbol matched plus
+// the subplan scope it is evaluated over (for instance-aware comparison).
+type predBinding struct {
+	expr  sql.Expr
+	owner plan.Node
+}
+
 // binding maps template symbols to concrete plan fragments.
 type binding struct {
 	rels  map[template.Sym]plan.Node
 	attrs map[template.Sym]attrsBinding
-	preds map[template.Sym]sql.Expr
+	preds map[template.Sym]predBinding
 	funcs map[template.Sym][]plan.AggItem
 }
 
@@ -35,7 +42,7 @@ func newBinding() *binding {
 	return &binding{
 		rels:  map[template.Sym]plan.Node{},
 		attrs: map[template.Sym]attrsBinding{},
-		preds: map[template.Sym]sql.Expr{},
+		preds: map[template.Sym]predBinding{},
 		funcs: map[template.Sym][]plan.AggItem{},
 	}
 }
@@ -119,7 +126,7 @@ func (m *Matcher) match(tpl *template.Node, n plan.Node, b *binding) bool {
 		if !m.bindAttrs(tpl.Attrs, cols, s.In, b) {
 			return false
 		}
-		if !m.bindPred(tpl.Pred, s.Pred, b) {
+		if !m.bindPred(tpl.Pred, s.Pred, s.In, b) {
 			return false
 		}
 		return m.match(tpl.Children[0], s.In, b)
@@ -194,7 +201,7 @@ func (m *Matcher) match(tpl *template.Node, n plan.Node, b *binding) bool {
 		if having == nil {
 			having = &sql.Literal{Val: sql.NewBool(true)}
 		}
-		if !m.bindPred(tpl.Pred, having, b) {
+		if !m.bindPred(tpl.Pred, having, a.In, b) {
 			return false
 		}
 		return m.match(tpl.Children[0], a.In, b)
@@ -230,11 +237,12 @@ func (m *Matcher) bindAttrs(sym template.Sym, cols []plan.ColRef, owner plan.Nod
 	return true
 }
 
-func (m *Matcher) bindPred(sym template.Sym, pred sql.Expr, b *binding) bool {
+func (m *Matcher) bindPred(sym template.Sym, pred sql.Expr, owner plan.Node, b *binding) bool {
+	nb := predBinding{expr: pred, owner: owner}
 	if prev, ok := b.preds[sym]; ok {
-		return m.predsEquivalent(prev, pred)
+		return m.predsEquivalent(prev, nb)
 	}
-	b.preds[sym] = pred
+	b.preds[sym] = nb
 	return true
 }
 
@@ -256,13 +264,44 @@ func predColumns(e sql.Expr) []plan.ColRef {
 	return out
 }
 
+// instanceIndex numbers the table instances (scan/derived bindings) of a
+// subplan in first-appearance order, mirroring aliasFingerprint. Two columns
+// from different scopes denote "the same attribute of the same relation
+// instance" when their aliases sit at the same position — comparison by bare
+// base-table origin would collapse the two instances of a self-joined table.
+func instanceIndex(n plan.Node) map[string]int {
+	idx := map[string]int{}
+	plan.Walk(n, func(m plan.Node) bool {
+		switch x := m.(type) {
+		case *plan.Scan:
+			if _, ok := idx[x.Binding]; !ok {
+				idx[x.Binding] = len(idx)
+			}
+		case *plan.Derived:
+			if _, ok := idx[x.Binding]; !ok {
+				idx[x.Binding] = len(idx)
+			}
+		}
+		return true
+	})
+	return idx
+}
+
 // attrsEquivalent compares two attribute bindings by the base-table origin of
-// each column (AttrsEq semantics: the same attributes of the same relation).
+// each column (AttrsEq semantics: the same attributes of the same relation)
+// AND the positional instance the column's alias denotes within each
+// binding's scope, so the two sides of a self-join never compare equal.
 func (m *Matcher) attrsEquivalent(a, b attrsBinding) bool {
 	if len(a.cols) != len(b.cols) {
 		return false
 	}
+	ia, ib := instanceIndex(a.owner), instanceIndex(b.owner)
 	for i := range a.cols {
+		p1, known1 := ia[a.cols[i].Table]
+		p2, known2 := ib[b.cols[i].Table]
+		if known1 != known2 || (known1 && p1 != p2) {
+			return false
+		}
 		t1, c1, ok1 := plan.Origin(a.owner, a.cols[i])
 		t2, c2, ok2 := plan.Origin(b.owner, b.cols[i])
 		if !ok1 || !ok2 {
@@ -279,16 +318,20 @@ func (m *Matcher) attrsEquivalent(a, b attrsBinding) bool {
 	return true
 }
 
-// predsEquivalent compares predicates with column qualifiers replaced by
-// their origin tables, so `m.commit_id = 7` and `n.commit_id = 7` over the
-// same base table compare equal.
-func (m *Matcher) predsEquivalent(a, b sql.Expr) bool {
-	return normalizePredString(a) == normalizePredString(b)
+// predsEquivalent compares predicates with column qualifiers canonicalized to
+// the positional instance they denote within each predicate's own scope:
+// `m.commit_id = 7` and `n.commit_id = 7` over the same relation instance
+// (position) compare equal, while predicates reading the two sides of a
+// self-join — same base table, different instances — do not.
+func (m *Matcher) predsEquivalent(a, b predBinding) bool {
+	return normalizePredString(a.expr, instanceIndex(a.owner)) ==
+		normalizePredString(b.expr, instanceIndex(b.owner))
 }
 
-func normalizePredString(e sql.Expr) string {
+func normalizePredString(e sql.Expr, idx map[string]int) string {
 	s := sql.FormatExpr(e)
-	// Strip table qualifiers: compare by column name and structure.
+	// Replace each `alias.` qualifier with its positional instance number;
+	// aliases outside the scope (e.g. tables local to a subquery) stay as-is.
 	var out strings.Builder
 	i := 0
 	for i < len(s) {
@@ -298,12 +341,18 @@ func normalizePredString(e sql.Expr) string {
 			break
 		}
 		j += i
-		// Walk back over the identifier before the dot and drop it.
+		// Walk back over the identifier before the dot.
 		k := j
 		for k > i && isIdentByte(s[k-1]) {
 			k--
 		}
 		out.WriteString(s[i:k])
+		if pos, ok := idx[s[k:j]]; ok {
+			fmt.Fprintf(&out, "b%d.", pos)
+		} else {
+			out.WriteString(s[k:j])
+			out.WriteString(".")
+		}
 		i = j + 1
 	}
 	return out.String()

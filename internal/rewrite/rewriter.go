@@ -60,6 +60,12 @@ func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
 			if plan.Fingerprint(np) == plan.Fingerprint(p) {
 				continue // no-op application
 			}
+			// The fragment validated in isolation, but a rewrite that renames
+			// the fragment's output columns (the column-switch rules) can break
+			// references in ENCLOSING operators — re-validate the whole plan.
+			if validate(np) != nil {
+				continue
+			}
 			out = append(out, Candidate{Plan: np, Rule: rule})
 		}
 	}

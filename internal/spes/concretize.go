@@ -22,6 +22,18 @@ import (
 type Concretized struct {
 	Plan   plan.Node
 	Schema *sql.Schema
+	// Refs records every referential assumption (RefAttrs) of the rule,
+	// including those that cannot be declared as schema foreign keys because
+	// the target column is not unique. Consumers that generate concrete data
+	// (the differential-testing oracle) must keep these closed: every
+	// non-NULL child value must appear in the parent column.
+	Refs []Ref
+}
+
+// Ref is one referential assumption between concretized columns.
+type Ref struct {
+	ChildTable, ChildColumn   string
+	ParentTable, ParentColumn string
 }
 
 // Concretize instantiates both templates of a rule over concrete table and
@@ -56,8 +68,35 @@ func Concretize(src, dest *template.Node, cs *constraint.Set) (*Concretized, *Co
 	if err := c.schema.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("spes: generated schema invalid: %w", err)
 	}
-	return &Concretized{Plan: sp, Schema: c.schema},
-		&Concretized{Plan: dp, Schema: c.schema}, nil
+	refs := c.collectRefs()
+	return &Concretized{Plan: sp, Schema: c.schema, Refs: refs},
+		&Concretized{Plan: dp, Schema: c.schema, Refs: refs}, nil
+}
+
+// collectRefs lists every RefAttrs assumption whose child and parent columns
+// both materialized in the generated schema.
+func (c *concretizer) collectRefs() []Ref {
+	var out []Ref
+	for _, rc := range c.cl.ByKind(constraint.RefAttrs) {
+		child, childCol := c.relTabs[c.rep(rc.Syms[0])], c.attrCols[c.rep(rc.Syms[1])]
+		parent, parentCol := c.relTabs[c.rep(rc.Syms[2])], c.attrCols[c.rep(rc.Syms[3])]
+		ct, ok1 := c.schema.Table(child)
+		pt, ok2 := c.schema.Table(parent)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if _, ok := ct.Column(childCol); !ok {
+			continue
+		}
+		if _, ok := pt.Column(parentCol); !ok {
+			continue
+		}
+		out = append(out, Ref{
+			ChildTable: child, ChildColumn: childCol,
+			ParentTable: parent, ParentColumn: parentCol,
+		})
+	}
+	return out
 }
 
 type concretizer struct {

@@ -1,0 +1,52 @@
+package sql
+
+// CloneExpr returns a deep copy of an expression tree. Subquery statements
+// embedded in InSubquery/ExistsExpr are shared, not copied: plans built by
+// the plan package represent subqueries as first-class plan nodes, so raw
+// statement pointers only appear transiently during building and are never
+// mutated afterwards.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		cp := *x
+		return &cp
+	case *Literal:
+		cp := *x
+		return &cp
+	case *Param:
+		cp := *x
+		return &cp
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, E: CloneExpr(x.E)}
+	case *IsNullExpr:
+		return &IsNullExpr{E: CloneExpr(x.E), Negated: x.Negated}
+	case *InListExpr:
+		out := &InListExpr{E: CloneExpr(x.E), Negated: x.Negated}
+		for _, it := range x.List {
+			out.List = append(out.List, CloneExpr(it))
+		}
+		return out
+	case *InSubquery:
+		return &InSubquery{E: CloneExpr(x.E), Select: x.Select, Negated: x.Negated}
+	case *ExistsExpr:
+		cp := *x
+		return &cp
+	case *TupleExpr:
+		out := &TupleExpr{}
+		for _, it := range x.Items {
+			out.Items = append(out.Items, CloneExpr(it))
+		}
+		return out
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	}
+	return e
+}

@@ -234,6 +234,53 @@ func (p *ddlParser) parseColumnDef() (Column, bool, error) {
 	}
 }
 
+// FormatDDL renders a schema as CREATE TABLE statements in the exact dialect
+// ParseDDL accepts, so schemas round-trip through text. Repro artifacts and
+// golden tests rely on FormatDDL(ParseDDL(x)) being a fixed point.
+func FormatDDL(s *Schema) string {
+	var b strings.Builder
+	for _, name := range s.TableNames() {
+		def, _ := s.Table(name)
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", def.Name)
+		var lines []string
+		for _, c := range def.Columns {
+			l := "    " + c.Name + " " + ddlTypeName(c.Type)
+			if c.NotNull {
+				l += " NOT NULL"
+			}
+			lines = append(lines, l)
+		}
+		if len(def.PrimaryKey) > 0 {
+			lines = append(lines, "    PRIMARY KEY ("+strings.Join(def.PrimaryKey, ", ")+")")
+		}
+		for _, u := range def.Uniques {
+			lines = append(lines, "    UNIQUE ("+strings.Join(u, ", ")+")")
+		}
+		for _, fk := range def.ForeignKeys {
+			lines = append(lines, fmt.Sprintf("    FOREIGN KEY (%s) REFERENCES %s (%s)",
+				strings.Join(fk.Columns, ", "), fk.RefTable, strings.Join(fk.RefColumns, ", ")))
+		}
+		b.WriteString(strings.Join(lines, ",\n"))
+		b.WriteString("\n);\n")
+	}
+	return b.String()
+}
+
+// ddlTypeName maps a coarse column type back onto a canonical DDL spelling
+// that ddlType parses to the same type.
+func ddlTypeName(t ColumnType) string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TBool:
+		return "BOOLEAN"
+	default:
+		return "VARCHAR"
+	}
+}
+
 // ddlType maps a declared SQL type name onto the engine's coarse kinds.
 func ddlType(name string) ColumnType {
 	switch strings.ToUpper(name) {

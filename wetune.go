@@ -30,6 +30,7 @@ import (
 
 	"wetune/internal/constraint"
 	"wetune/internal/datagen"
+	"wetune/internal/difftest"
 	"wetune/internal/engine"
 	"wetune/internal/obs"
 	"wetune/internal/pipeline"
@@ -244,6 +245,18 @@ type DiscoveryOptions struct {
 	// live in their own namespace of the shared proof cache, so a cache file
 	// serves both modes without one prover's verdicts masking the other's.
 	UseSMT bool
+	// CrossCheck differentially tests every verifier-accepted rule against
+	// the in-memory engine (internal/difftest): the rule's templates are
+	// concretized, the resulting schema populated under NULL-light and
+	// NULL-heavy profiles, and both plans executed and compared under bag
+	// semantics. Rules the oracle refutes are dropped and counted in
+	// Stats.RulesCrossCheckedOut — a disagreement means either the verifier
+	// or the engine is wrong, so it is worth surfacing, never silently
+	// emitting.
+	CrossCheck bool
+	// CrossCheckSeed seeds the cross-check's data generation (0 = a fixed
+	// default, keeping runs deterministic).
+	CrossCheckSeed int64
 }
 
 // DiscoveryStats reports per-stage discovery effort (templates, pairs,
@@ -318,6 +331,19 @@ func Discover(opts DiscoveryOptions) *DiscoveryResult {
 	if opts.SlowTrace != nil {
 		slow := opts.SlowTrace
 		popts.SlowPair = func(sp *obs.Span) { slow(sp.Tree()) }
+	}
+	if opts.CrossCheck {
+		seed := opts.CrossCheckSeed
+		if seed == 0 {
+			seed = 1
+		}
+		popts.CrossCheck = func(cctx context.Context, r pipeline.Rule) bool {
+			if cctx.Err() != nil {
+				return true // cancelled runs keep what the verifier accepted
+			}
+			res, _ := difftest.CheckRule(r.Src, r.Dest, r.Constraints, seed)
+			return res != difftest.Mismatched
+		}
 	}
 	res := pipeline.Run(ctx, popts)
 	out := &DiscoveryResult{
