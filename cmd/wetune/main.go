@@ -25,10 +25,15 @@
 //	                                             calcite latency casestudy verifiers
 //	                                             timeout table6 ablations reduction
 //	                                             metrics | all)
+//	wetune bench discover [-json] [-name NAME]  run the fixed cold-cache discovery workload
+//	        [-out FILE]                         and measure it (ns/op, allocs/op, prover
+//	                                            calls, cache hit rate); -json appends the
+//	                                            entry to -out (default BENCH_discover.json)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	_ "expvar" // registers /debug/vars on the default mux for -debug-addr
 	"flag"
 	"fmt"
@@ -352,6 +357,10 @@ func cmdBench(args []string) {
 	if len(args) > 0 {
 		which = args[0]
 	}
+	if which == "discover" {
+		cmdBenchDiscover(args[1:])
+		return
+	}
 	experiments := []struct {
 		name string
 		run  func() *bench.Report
@@ -389,4 +398,29 @@ func cmdBench(args []string) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
 	}
+}
+
+// cmdBenchDiscover measures the fixed cold-cache discovery workload once and
+// prints the measurement as JSON. With -json the entry is also appended to
+// -out, so the before/after trajectory of an optimization can be committed.
+func cmdBenchDiscover(args []string) {
+	fs := flag.NewFlagSet("bench discover", flag.ExitOnError)
+	appendOut := fs.Bool("json", false, "append the measurement to the -out trajectory file")
+	name := fs.String("name", "run", "label recorded with the measurement")
+	out := fs.String("out", "BENCH_discover.json", "trajectory file used by -json")
+	fs.Parse(args)
+
+	entry := bench.RunDiscover(*name)
+	if *appendOut {
+		if _, err := bench.AppendDiscoverJSON(*out, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "bench discover:", err)
+			os.Exit(1)
+		}
+	}
+	data, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench discover:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wetune/internal/obs"
+	"wetune/internal/pipeline"
+	"wetune/internal/template"
+)
+
+// DiscoverBench is one measurement of the fixed cold-cache discovery
+// workload (`wetune bench discover`). The workload is fully deterministic —
+// every size-≤2 template pair, one worker, a fresh proof cache, the default
+// prover — so entries recorded before and after an optimization are directly
+// comparable, and RulesSHA256 proves the discovered rule set did not change.
+// BENCH_discover.json holds the committed trajectory; "op" in the per-op
+// fields is one prover call.
+type DiscoverBench struct {
+	Name string `json:"name"`
+	Date string `json:"date"`
+
+	WallNS  int64 `json:"wall_ns"`
+	NsPerOp int64 `json:"ns_per_op"`
+
+	Allocs      uint64 `json:"allocs"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	AllocBytes  uint64 `json:"alloc_bytes"`
+
+	ProverCalls  int64   `json:"prover_calls"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PairsTried   int64   `json:"pairs_tried"`
+
+	Rules       int    `json:"rules"`
+	RulesSHA256 string `json:"rules_sha256"`
+
+	// Intern-table counters for the run (0 on builds predating the pool).
+	InternHits  int64 `json:"intern_hits,omitempty"`
+	InternNodes int64 `json:"intern_nodes,omitempty"`
+}
+
+// RunDiscover executes the fixed discovery workload once and measures it.
+// Allocation counts are process-wide Mallocs deltas around the run (the
+// workload is the only thing running, so the delta is the workload's).
+func RunDiscover(name string) DiscoverBench {
+	templates := template.Enumerate(template.EnumOptions{MaxSize: 2})
+	// Intern counters land in the default registry (the SMT layer flushes
+	// its pools there); measure the run's contribution as a delta.
+	reg := obs.Default()
+	hits0 := reg.Counter("intern_hits").Value()
+	nodes0 := reg.Counter("intern_nodes").Value()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res := pipeline.Run(context.Background(), pipeline.Options{
+		Templates: templates,
+		Workers:   1,
+		Cache:     pipeline.NewProofCache(),
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	h := sha256.New()
+	for _, r := range res.Rules {
+		fmt.Fprintln(h, r.String())
+	}
+	b := DiscoverBench{
+		Name:         name,
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		WallNS:       wall.Nanoseconds(),
+		Allocs:       m1.Mallocs - m0.Mallocs,
+		AllocBytes:   m1.TotalAlloc - m0.TotalAlloc,
+		ProverCalls:  res.Stats.ProverCalls,
+		CacheHitRate: res.Stats.CacheHitRate(),
+		PairsTried:   res.Stats.PairsTried,
+		Rules:        len(res.Rules),
+		RulesSHA256:  hex.EncodeToString(h.Sum(nil)),
+		InternHits:   reg.Counter("intern_hits").Value() - hits0,
+		InternNodes:  reg.Counter("intern_nodes").Value() - nodes0,
+	}
+	if b.ProverCalls > 0 {
+		b.NsPerOp = b.WallNS / b.ProverCalls
+		b.AllocsPerOp = b.Allocs / uint64(b.ProverCalls)
+	}
+	return b
+}
+
+// AppendDiscoverJSON appends entry to the JSON array in path (created if
+// missing) and returns the full trajectory.
+func AppendDiscoverJSON(path string, entry DiscoverBench) ([]DiscoverBench, error) {
+	var entries []DiscoverBench
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

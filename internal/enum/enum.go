@@ -86,19 +86,21 @@ type Result struct {
 	Stats Stats
 }
 
-// toCtxProver upgrades the built-in provers to their context-aware pipeline
-// forms and wraps custom ones.
-func toCtxProver(p Prover) pipeline.Prover {
+// toPairProver upgrades the built-in provers to their per-pair-context
+// pipeline forms (identical verdicts, constraint-independent work hoisted out
+// of the probe loop); custom provers are wrapped per call as before and
+// return nil here.
+func toPairProver(p Prover) pipeline.PairProverFactory {
 	if p == nil {
-		return pipeline.DefaultProver
+		return pipeline.DefaultPairProver
 	}
 	switch reflect.ValueOf(p).Pointer() {
 	case reflect.ValueOf(DefaultProver).Pointer():
-		return pipeline.DefaultProver
+		return pipeline.DefaultPairProver
 	case reflect.ValueOf(AlgebraicProver).Pointer():
-		return pipeline.AlgebraicProver
+		return pipeline.AlgebraicPairProver
 	}
-	return pipeline.LegacyProver(p)
+	return nil
 }
 
 func (o Options) pipelineOptions() pipeline.Options {
@@ -107,9 +109,15 @@ func (o Options) pipelineOptions() pipeline.Options {
 	if tpls == nil {
 		tpls = []*template.Node{}
 	}
+	var prover pipeline.Prover
+	pairProver := toPairProver(o.Prover)
+	if pairProver == nil {
+		prover = pipeline.LegacyProver(o.Prover)
+	}
 	return pipeline.Options{
 		Templates:             tpls,
-		Prover:                toCtxProver(o.Prover),
+		Prover:                prover,
+		PairProver:            pairProver,
 		MaxProverCallsPerPair: o.MaxProverCallsPerPair,
 		MaxConstraints:        o.MaxConstraints,
 		DeletionOrders:        o.DeletionOrders,

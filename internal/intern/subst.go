@@ -1,0 +1,224 @@
+package intern
+
+import (
+	"wetune/internal/fol"
+	"wetune/internal/uexpr"
+)
+
+// This file replaces the solver's tree-rebuilding substitution walkers:
+// inputs must be canonical, results are canonical, unchanged subtrees are
+// returned as the same pointer, and every (node, var, replacement) triple is
+// memoized on pointer identity — quantifier instantiation re-derives the same
+// instances across rounds, so the memo converts the second round's work into
+// map hits.
+
+// SubstFormula substitutes tuple variable id with the canonical ground term
+// repl everywhere in the canonical formula f, including inside integer terms
+// and ITE conditions.
+func (p *Pool) SubstFormula(f fol.Formula, id int, repl uexpr.Tuple) fol.Formula {
+	k := substKey{node: f, id: id, repl: repl}
+	if r, ok := p.sfMemo[k]; ok {
+		return r
+	}
+	r := p.substFormula(f, id, repl)
+	p.sfMemo[k] = r
+	return r
+}
+
+func (p *Pool) substFormula(f fol.Formula, id int, repl uexpr.Tuple) fol.Formula {
+	switch x := f.(type) {
+	case *fol.TrueF, *fol.FalseF:
+		return f
+	case *fol.TupleEq:
+		l, r := p.SubstTupleVar(x.L, id, repl), p.SubstTupleVar(x.R, id, repl)
+		if l == x.L && r == x.R {
+			return f
+		}
+		return p.MkTupleEq(l, r)
+	case *fol.PredApp:
+		t := p.SubstTupleVar(x.T, id, repl)
+		if t == x.T {
+			return f
+		}
+		return p.MkPredApp(x.Pred, t)
+	case *fol.IsNull:
+		t := p.SubstTupleVar(x.T, id, repl)
+		if t == x.T {
+			return f
+		}
+		return p.MkIsNull(t)
+	case *fol.IntEq:
+		l, r := p.SubstTerm(x.L, id, repl), p.SubstTerm(x.R, id, repl)
+		if l == x.L && r == x.R {
+			return f
+		}
+		return p.MkIntEq(l, r)
+	case *fol.IntGt0:
+		t := p.SubstTerm(x.T, id, repl)
+		if t == x.T {
+			return f
+		}
+		return p.MkIntGt0(t)
+	case *fol.IntLe1:
+		t := p.SubstTerm(x.T, id, repl)
+		if t == x.T {
+			return f
+		}
+		return p.MkIntLe1(t)
+	case *fol.Not:
+		g := p.SubstFormula(x.F, id, repl)
+		if g == x.F {
+			return f
+		}
+		return p.MkNot(g)
+	case *fol.And:
+		out, changed := p.substFs(x.Fs, id, repl)
+		if !changed {
+			return f
+		}
+		return p.MkAnd(out...)
+	case *fol.Or:
+		out, changed := p.substFs(x.Fs, id, repl)
+		if !changed {
+			return f
+		}
+		return p.MkOr(out...)
+	case *fol.Implies:
+		l, r := p.SubstFormula(x.L, id, repl), p.SubstFormula(x.R, id, repl)
+		if l == x.L && r == x.R {
+			return f
+		}
+		return p.MkImplies(l, r)
+	case *fol.Forall:
+		for _, v := range x.Vars {
+			if v.ID == id {
+				return f // shadowed
+			}
+		}
+		body := p.SubstFormula(x.Body, id, repl)
+		if body == x.Body {
+			return f
+		}
+		return p.MkForall(x.Vars, body)
+	case *fol.Exists:
+		for _, v := range x.Vars {
+			if v.ID == id {
+				return f // shadowed
+			}
+		}
+		body := p.SubstFormula(x.Body, id, repl)
+		if body == x.Body {
+			return f
+		}
+		return p.MkExists(x.Vars, body)
+	}
+	panic("intern: SubstFormula on unknown type")
+}
+
+func (p *Pool) substFs(fs []fol.Formula, id int, repl uexpr.Tuple) ([]fol.Formula, bool) {
+	changed := false
+	out := make([]fol.Formula, len(fs))
+	for i, g := range fs {
+		out[i] = p.SubstFormula(g, id, repl)
+		if out[i] != g {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// SubstTerm substitutes tuple variable id with repl in a canonical integer
+// term.
+func (p *Pool) SubstTerm(t fol.Term, id int, repl uexpr.Tuple) fol.Term {
+	k := substKey{node: t, id: id, repl: repl}
+	if r, ok := p.smMemo[k]; ok {
+		return r
+	}
+	r := p.substTerm(t, id, repl)
+	p.smMemo[k] = r
+	return r
+}
+
+func (p *Pool) substTerm(t fol.Term, id int, repl uexpr.Tuple) fol.Term {
+	switch x := t.(type) {
+	case *fol.RelApp:
+		u := p.SubstTupleVar(x.T, id, repl)
+		if u == x.T {
+			return t
+		}
+		return p.MkRelApp(x.Rel, u)
+	case *fol.IntConst:
+		return t
+	case *fol.ITE:
+		c := p.SubstFormula(x.Cond, id, repl)
+		th := p.SubstTerm(x.Then, id, repl)
+		el := p.SubstTerm(x.Else, id, repl)
+		if c == x.Cond && th == x.Then && el == x.Else {
+			return t
+		}
+		return p.MkITE(c, th, el)
+	case *fol.MulT:
+		changed := false
+		out := make([]fol.Term, len(x.Fs))
+		for i, g := range x.Fs {
+			out[i] = p.SubstTerm(g, id, repl)
+			if out[i] != g {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return p.MkMulT(out)
+	case *fol.AddT:
+		changed := false
+		out := make([]fol.Term, len(x.Ts))
+		for i, g := range x.Ts {
+			out[i] = p.SubstTerm(g, id, repl)
+			if out[i] != g {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return p.MkAddT(out)
+	}
+	panic("intern: SubstTerm on unknown type")
+}
+
+// SubstTupleVar substitutes tuple variable id with repl in a canonical tuple
+// term.
+func (p *Pool) SubstTupleVar(t uexpr.Tuple, id int, repl uexpr.Tuple) uexpr.Tuple {
+	k := substKey{node: t, id: id, repl: repl}
+	if r, ok := p.stMemo[k]; ok {
+		return r
+	}
+	var r uexpr.Tuple
+	switch x := t.(type) {
+	case *uexpr.TVar:
+		if x.ID == id {
+			r = repl
+		} else {
+			r = t
+		}
+	case *uexpr.TAttr:
+		u := p.SubstTupleVar(x.T, id, repl)
+		if u == x.T {
+			r = t
+		} else {
+			r = p.MkAttr(x.Attrs, u)
+		}
+	case *uexpr.TConcat:
+		l, rr := p.SubstTupleVar(x.L, id, repl), p.SubstTupleVar(x.R, id, repl)
+		if l == x.L && rr == x.R {
+			r = t
+		} else {
+			r = p.MkConcat(l, rr)
+		}
+	default:
+		panic("intern: SubstTupleVar on unknown type")
+	}
+	p.stMemo[k] = r
+	return r
+}

@@ -1,0 +1,32 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wetune/internal/rules"
+)
+
+// BenchmarkSearchPairCold measures one full cold-cache relaxation search on a
+// fixed template pair — the unit of work the discovery pipeline repeats for
+// every pair. The pair comes from the rule library, so the search is known to
+// reach the SMT prover rather than dying in the algebraic fast path. Each
+// iteration gets a fresh proof cache, so nothing is amortized across
+// iterations.
+func BenchmarkSearchPairCold(b *testing.B) {
+	r, ok := rules.ByNo(1)
+	if !ok {
+		b.Fatal("rule 1 missing from the library")
+	}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		opts := Options{Cache: NewProofCache()}
+		opts.fill()
+		ct := &counters{start: time.Now(), cache: opts.Cache}
+		searchPair(context.Background(), r.Src, r.Dest, opts, ct)
+		if n == 0 && ct.proverCalls.Load() == 0 {
+			b.Fatal("search made no prover calls; benchmark would measure nothing")
+		}
+	}
+}

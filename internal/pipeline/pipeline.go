@@ -88,6 +88,38 @@ func LegacyProver(p func(src, dest *template.Node, cs *constraint.Set) bool) Pro
 	}
 }
 
+// PairProverFactory builds a prover specialized to one template pair. The
+// relaxation search probes many constraint sets against the same pair, so a
+// factory can hoist the constraint-independent verification work (template
+// translation, normalization skeletons, the SMT hash-consing pool) out of
+// the per-probe path — see verify.PairContext. The returned Prover is only
+// ever called from the single worker goroutine owning the pair.
+type PairProverFactory func(src, dest *template.Node) Prover
+
+// DefaultPairProver is DefaultProver hoisted onto a per-pair verification
+// context: same verdicts, with translation/normalization/FOL derivation done
+// once per pair instead of once per probe.
+func DefaultPairProver(src, dest *template.Node) Prover {
+	pc := verify.NewPairContext(src, dest)
+	return func(ctx context.Context, _, _ *template.Node, cs *constraint.Set) bool {
+		opts := verify.DefaultOptions()
+		opts.Context = ctx
+		opts.SMT.MaxNodes = 20000
+		return pc.VerifyOpts(cs, opts).Outcome == verify.Verified
+	}
+}
+
+// AlgebraicPairProver is AlgebraicProver hoisted onto a per-pair context.
+func AlgebraicPairProver(src, dest *template.Node) Prover {
+	pc := verify.NewPairContext(src, dest)
+	return func(ctx context.Context, _, _ *template.Node, cs *constraint.Set) bool {
+		opts := verify.DefaultOptions()
+		opts.Context = ctx
+		opts.SkipSMT = true
+		return pc.VerifyOpts(cs, opts).Outcome == verify.Verified
+	}
+}
+
 // Options configures a pipeline run.
 type Options struct {
 	// Templates to pair; if nil, template.Enumerate(MaxTemplateSize) runs as
@@ -96,8 +128,13 @@ type Options struct {
 	// MaxTemplateSize bounds enumerated templates when Templates is nil
 	// (default 2; the paper's size-4 run took 36 hours on 120 cores).
 	MaxTemplateSize int
-	// Prover; defaults to DefaultProver.
+	// Prover; defaults to DefaultProver. Ignored when PairProver is set.
 	Prover Prover
+	// PairProver, when non-nil, takes precedence over Prover: searchPair
+	// calls it once per template pair and probes the returned Prover. When
+	// both Prover and PairProver are nil, fill() selects DefaultPairProver
+	// (the per-pair-context equivalent of DefaultProver).
+	PairProver PairProverFactory
 	// MaxProverCallsPerPair bounds the relaxation per template pair. Cache
 	// hits charge the budget too, keeping warm and cold trajectories equal.
 	MaxProverCallsPerPair int
@@ -147,8 +184,8 @@ func (o *Options) fill() {
 	if o.MaxTemplateSize <= 0 {
 		o.MaxTemplateSize = 2
 	}
-	if o.Prover == nil {
-		o.Prover = DefaultProver
+	if o.Prover == nil && o.PairProver == nil {
+		o.PairProver = DefaultPairProver
 	}
 	if o.MaxProverCallsPerPair == 0 {
 		o.MaxProverCallsPerPair = 500

@@ -35,9 +35,13 @@ func searchPair(ctx context.Context, src, dest *template.Node, opts Options, ct 
 	}
 	ct.pairsTried.Add(1)
 	reg.Counter(metricPairsTried).Inc()
+	prover := opts.Prover
+	if opts.PairProver != nil {
+		prover = opts.PairProver(src, dest)
+	}
 	s := &relaxer{
 		ctx: ctx, src: src, dest: dest,
-		prover: opts.Prover,
+		prover: prover,
 		budget: opts.MaxProverCallsPerPair,
 		memo:   map[string]bool{},
 		prune:  !opts.DisablePruning,

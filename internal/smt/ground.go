@@ -18,32 +18,73 @@ import (
 // assigned literals are genuinely inconsistent; Unsat is reported only when
 // every branch conflicts. Sat/Unknown answers may be imprecise (they reject a
 // rule, which is the conservative direction).
+//
+// All formulas reaching the grounder are canonical pool nodes, so the atom
+// index keys on pointers and the tuple-term universe is registered once per
+// decide() as a dense int32 numbering: each DPLL node's congruence closure is
+// a union-find over small integer arrays instead of string-keyed maps.
 type grounder struct {
 	solver   *solver
 	atoms    []fol.Formula
-	atomIdx  map[string]int
+	atomIdx  map[fol.Formula]int
 	propN    int
 	unknown  bool
 	nodes    int
 	needAtom int
+
+	// Ground tuple-term universe, built by buildUniverse after atom
+	// collection. Index i describes g.terms[i]; keys holds the pool's
+	// canonical strings (the only thing ever sorted or compared for
+	// representative choice, keeping verdicts independent of registration
+	// order); child links a TAttr to its argument term (-1 otherwise).
+	terms   []uexpr.Tuple
+	termIdx map[uexpr.Tuple]int32
+	keys    []string
+	child   []int32
+	// attrGroups lists TAttr term indexes grouped by attribute symbol for the
+	// congruence fixpoint; groups ordered by symbol, members by key.
+	attrGroups [][]int32
+	// eqAtoms / predAtoms precompute, in atom order, the per-assignment work
+	// of buildCC: tuple equalities to union/check and predicate (or IsNull,
+	// encoded as the reserved symbol p-1) applications to check congruence of.
+	eqAtoms   []eqAtomRec
+	predAtoms []predAtomRec
+
+	// Scratch reused across the many buildCC calls of one decide().
+	parentBuf  []int32
+	predValBuf map[predKey]int
+}
+
+type eqAtomRec struct {
+	id   int
+	l, r int32
+}
+
+type predAtomRec struct {
+	id  int
+	sym template.Sym
+	t   int32
 }
 
 // decide preprocesses away embedded quantifiers and runs DPLL.
 func (g *grounder) decide(f fol.Formula) Result {
-	g.atomIdx = map[string]int{}
+	g.atomIdx = map[fol.Formula]int{}
+	g.termIdx = map[uexpr.Tuple]int32{}
+	g.predValBuf = map[predKey]int{}
 	pool := g.solver.groundTerms([]fol.Formula{f})
 	if len(pool) == 0 {
 		pool = []uexpr.Tuple{g.solver.freshSkolem()}
 	}
 	var defs []fol.Formula
 	f = g.prep(f, pool, &defs, 0)
-	all := fol.MkAnd(append([]fol.Formula{f}, defs...)...)
+	all := g.solver.pool.MkAnd(append([]fol.Formula{f}, defs...)...)
 	g.collectAtoms(all)
 	if len(g.atoms) > 400 {
 		// Formula too large for the ground solver; give up like a timeout.
 		g.unknown = true
 		return Unknown
 	}
+	g.buildUniverse()
 	assign := make([]int, len(g.atoms)) // 0 unknown, 1 true, -1 false
 	res := g.dpll(all, assign)
 	if res == Unsat && g.unknown {
@@ -57,9 +98,10 @@ func (g *grounder) decide(f fol.Formula) Result {
 // Exists -> skolem constant (equisatisfiable); ITE conditions containing
 // quantifiers -> fresh propositional atom with sound defining clauses.
 func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, depth int) fol.Formula {
+	p := g.solver.pool
 	if depth > 6 {
 		g.unknown = true
-		return &fol.TrueF{}
+		return p.True()
 	}
 	switch x := f.(type) {
 	case *fol.TrueF, *fol.FalseF:
@@ -69,18 +111,18 @@ func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, 
 		for i, h := range x.Fs {
 			out[i] = g.prep(h, pool, defs, depth)
 		}
-		return fol.MkAnd(out...)
+		return p.MkAnd(out...)
 	case *fol.Or:
 		out := make([]fol.Formula, len(x.Fs))
 		for i, h := range x.Fs {
 			out[i] = g.prep(h, pool, defs, depth)
 		}
-		return fol.MkOr(out...)
+		return p.MkOr(out...)
 	case *fol.Not:
 		// NNF: negation only wraps atoms; atoms may still carry ITE terms.
-		return &fol.Not{F: g.prep(x.F, pool, defs, depth)}
+		return p.MkNot(g.prep(x.F, pool, defs, depth))
 	case *fol.Implies:
-		return g.prep(fol.MkOr(&fol.Not{F: x.L}, x.R), pool, defs, depth)
+		return g.prep(p.MkOr(p.MkNot(x.L), x.R), pool, defs, depth)
 	case *fol.Forall:
 		combos := 1
 		for range x.Vars {
@@ -88,7 +130,7 @@ func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, 
 		}
 		if combos > 1024 {
 			g.unknown = true
-			return &fol.TrueF{}
+			return p.True()
 		}
 		var insts []fol.Formula
 		var rec func(i int, body fol.Formula)
@@ -98,26 +140,26 @@ func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, 
 				return
 			}
 			for _, t := range pool {
-				rec(i+1, substFormulaVar(body, x.Vars[i].ID, t))
+				rec(i+1, p.SubstFormula(body, x.Vars[i].ID, t))
 			}
 		}
 		rec(0, x.Body)
 		// Weakening marker: if the pool is non-trivial this is an
 		// approximation of the universal, but conjunction of consequences is
 		// sound for UNSAT.
-		return fol.MkAnd(insts...)
+		return p.MkAnd(insts...)
 	case *fol.Exists:
 		body := x.Body
 		for _, v := range x.Vars {
-			body = substFormulaVar(body, v.ID, g.solver.freshSkolem())
+			body = p.SubstFormula(body, v.ID, g.solver.freshSkolem())
 		}
 		return g.prep(body, pool, defs, depth+1)
 	case *fol.IntEq:
-		return &fol.IntEq{L: g.prepTerm(x.L, pool, defs, depth), R: g.prepTerm(x.R, pool, defs, depth)}
+		return p.MkIntEq(g.prepTerm(x.L, pool, defs, depth), g.prepTerm(x.R, pool, defs, depth))
 	case *fol.IntGt0:
-		return &fol.IntGt0{T: g.prepTerm(x.T, pool, defs, depth)}
+		return p.MkIntGt0(g.prepTerm(x.T, pool, defs, depth))
 	case *fol.IntLe1:
-		return &fol.IntLe1{T: g.prepTerm(x.T, pool, defs, depth)}
+		return p.MkIntLe1(g.prepTerm(x.T, pool, defs, depth))
 	default:
 		return f // tuple/pred/isnull atoms
 	}
@@ -126,6 +168,7 @@ func (g *grounder) prep(f fol.Formula, pool []uexpr.Tuple, defs *[]fol.Formula, 
 // prepTerm rewrites ITE conditions that contain quantifiers into fresh
 // propositional atoms with sound defining clauses (see package comment).
 func (g *grounder) prepTerm(t fol.Term, pool []uexpr.Tuple, defs *[]fol.Formula, depth int) fol.Term {
+	p := g.solver.pool
 	switch x := t.(type) {
 	case *fol.RelApp, *fol.IntConst:
 		return t
@@ -134,34 +177,32 @@ func (g *grounder) prepTerm(t fol.Term, pool []uexpr.Tuple, defs *[]fol.Formula,
 		for i, h := range x.Fs {
 			out[i] = g.prepTerm(h, pool, defs, depth)
 		}
-		return &fol.MulT{Fs: out}
+		return p.MkMulT(out)
 	case *fol.AddT:
 		out := make([]fol.Term, len(x.Ts))
 		for i, h := range x.Ts {
 			out[i] = g.prepTerm(h, pool, defs, depth)
 		}
-		return &fol.AddT{Ts: out}
+		return p.MkAddT(out)
 	case *fol.ITE:
 		cond := x.Cond
 		if hasQuantifier(cond) {
-			p := g.freshProp()
+			prop := g.freshProp()
 			// P => C: strengthen C by skolemizing its existentials.
 			cStr := g.prep(cond, pool, defs, depth+1)
-			*defs = append(*defs, fol.MkOr(&fol.Not{F: p}, cStr))
+			*defs = append(*defs, p.MkOr(p.MkNot(prop), cStr))
 			// C => P, approximated instance-wise over the pool.
 			for _, inst := range g.existInstances(cond, pool) {
 				instP := g.prep(inst, pool, defs, depth+1)
-				*defs = append(*defs, fol.MkOr(&fol.Not{F: instP}, p))
+				*defs = append(*defs, p.MkOr(p.MkNot(instP), prop))
 			}
-			cond = p
+			cond = prop
 		} else {
 			cond = g.prep(cond, pool, defs, depth)
 		}
-		return &fol.ITE{
-			Cond: cond,
-			Then: g.prepTerm(x.Then, pool, defs, depth),
-			Else: g.prepTerm(x.Else, pool, defs, depth),
-		}
+		return p.MkITE(cond,
+			g.prepTerm(x.Then, pool, defs, depth),
+			g.prepTerm(x.Else, pool, defs, depth))
 	}
 	panic(fmt.Sprintf("smt: prepTerm on %T", t))
 }
@@ -192,7 +233,7 @@ func (g *grounder) existInstances(f fol.Formula, pool []uexpr.Tuple) []fol.Formu
 				return
 			}
 			for _, t := range pool {
-				rec(i+1, substFormulaVar(body, x.Vars[i].ID, t))
+				rec(i+1, g.solver.pool.SubstFormula(body, x.Vars[i].ID, t))
 			}
 		}
 		rec(0, x.Body)
@@ -206,10 +247,10 @@ var propSym = template.Sym{Kind: template.KPred, ID: 1 << 22}
 
 func (g *grounder) freshProp() fol.Formula {
 	g.propN++
-	return &fol.PredApp{
-		Pred: template.Sym{Kind: template.KPred, ID: propSym.ID + g.propN},
-		T:    &uexpr.TVar{ID: propSym.ID + g.propN},
-	}
+	p := g.solver.pool
+	return p.MkPredApp(
+		template.Sym{Kind: template.KPred, ID: propSym.ID + g.propN},
+		p.MkVar(propSym.ID+g.propN))
 }
 
 func hasQuantifier(f fol.Formula) bool {
@@ -240,14 +281,15 @@ func hasQuantifier(f fol.Formula) bool {
 
 // --- atom interning and DPLL ---
 
+// atomID returns the dense id of an atom. Atoms are canonical pool nodes, so
+// identity is pointer identity — structurally equal atoms share one id.
 func (g *grounder) atomID(f fol.Formula) int {
-	key := f.String()
-	if id, ok := g.atomIdx[key]; ok {
+	if id, ok := g.atomIdx[f]; ok {
 		return id
 	}
 	id := len(g.atoms)
 	g.atoms = append(g.atoms, f)
-	g.atomIdx[key] = id
+	g.atomIdx[f] = id
 	return id
 }
 
@@ -303,6 +345,77 @@ func walkAtomConds(f fol.Formula, fn func(fol.Formula)) {
 	}
 }
 
+// buildUniverse registers every tuple term reachable from the collected atoms
+// (children included) under a dense numbering and precomputes the structures
+// buildCC re-derives per assignment: attribute-congruence groups and the
+// equality/predicate atoms in atom order. Terms reaching the theory solver
+// later (ITE evaluation) are always subterms of collected atoms, so the
+// universe is complete by construction.
+func (g *grounder) buildUniverse() {
+	for _, a := range g.atoms {
+		walkFormulaTuples(a, func(t uexpr.Tuple) { g.termID(t) })
+	}
+	g.child = make([]int32, len(g.terms))
+	byAttr := map[template.Sym][]int32{}
+	for i, t := range g.terms {
+		g.child[i] = -1
+		if ta, ok := t.(*uexpr.TAttr); ok {
+			g.child[i] = g.termIdx[ta.T]
+			byAttr[ta.Attrs] = append(byAttr[ta.Attrs], int32(i))
+		}
+	}
+	// Congruence groups ordered by symbol and, within a group, by canonical
+	// key. (The fixpoint's outcome — classes plus min-key representatives —
+	// is independent of this order; fixing it anyway keeps runs replayable.)
+	syms := make([]template.Sym, 0, len(byAttr))
+	for s := range byAttr {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Kind != syms[j].Kind {
+			return syms[i].Kind < syms[j].Kind
+		}
+		return syms[i].ID < syms[j].ID
+	})
+	g.attrGroups = make([][]int32, 0, len(syms))
+	for _, s := range syms {
+		grp := byAttr[s]
+		sort.Slice(grp, func(i, j int) bool { return g.keys[grp[i]] < g.keys[grp[j]] })
+		g.attrGroups = append(g.attrGroups, grp)
+	}
+	for id, a := range g.atoms {
+		switch x := a.(type) {
+		case *fol.TupleEq:
+			g.eqAtoms = append(g.eqAtoms, eqAtomRec{id: id, l: g.termID(x.L), r: g.termID(x.R)})
+		case *fol.PredApp:
+			g.predAtoms = append(g.predAtoms, predAtomRec{id: id, sym: x.Pred, t: g.termID(x.T)})
+		case *fol.IsNull:
+			g.predAtoms = append(g.predAtoms, predAtomRec{
+				id: id, sym: template.Sym{Kind: template.KPred, ID: -1}, t: g.termID(x.T)})
+		}
+	}
+}
+
+// termID returns the dense index of a canonical tuple term, registering it
+// (children first) on first sight.
+func (g *grounder) termID(t uexpr.Tuple) int32 {
+	if i, ok := g.termIdx[t]; ok {
+		return i
+	}
+	switch x := t.(type) {
+	case *uexpr.TAttr:
+		g.termID(x.T)
+	case *uexpr.TConcat:
+		g.termID(x.L)
+		g.termID(x.R)
+	}
+	i := int32(len(g.terms))
+	g.terms = append(g.terms, t)
+	g.keys = append(g.keys, g.solver.pool.TupleKey(t))
+	g.termIdx[t] = i
+	return i
+}
+
 const (
 	evalFalse = -1
 	evalTrue  = 1
@@ -342,7 +455,19 @@ func (g *grounder) eval(f fol.Formula, assign []int, openAtom *int) int {
 	case *fol.Not:
 		return -g.eval(x.F, assign, openAtom)
 	case *fol.Implies:
-		return g.eval(fol.MkOr(&fol.Not{F: x.L}, x.R), assign, openAtom)
+		// L => R evaluated as !L or R, without materializing the disjunction.
+		lv := g.eval(x.L, assign, openAtom)
+		if lv == evalFalse {
+			return evalTrue
+		}
+		rv := g.eval(x.R, assign, openAtom)
+		if rv == evalTrue {
+			return evalTrue
+		}
+		if lv == evalOpen || rv == evalOpen {
+			return evalOpen
+		}
+		return evalFalse
 	default:
 		id := g.atomID(x)
 		v := assign[id]
@@ -415,93 +540,83 @@ func (g *grounder) dpll(f fol.Formula, assign []int) Result {
 
 // quickEqConflict runs the congruence-closure check only.
 func (g *grounder) quickEqConflict(assign []int) bool {
-	cc, ok := g.buildCC(assign)
-	_ = cc
+	_, ok := g.buildCC(assign)
 	return !ok
 }
 
 // --- theory: congruence closure over tuples ---
 
+// ccState is a union-find over the grounder's dense term universe. The
+// representative of a class is always the member with the smallest canonical
+// key string — a registration-order-independent choice, so class names (used
+// in monomial variables) are deterministic.
 type ccState struct {
-	parent map[string]string
-	terms  map[string]uexpr.Tuple
+	g      *grounder
+	parent []int32
 }
 
-func (c *ccState) find(k string) string {
-	p, ok := c.parent[k]
-	if !ok || p == k {
-		c.parent[k] = k
-		return k
+func (c *ccState) find(i int32) int32 {
+	// Terms are registered before any ccState exists (buildUniverse covers
+	// every atom subterm), but grow defensively if that invariant ever slips:
+	// a late term simply joins as a singleton class.
+	for int32(len(c.parent)) <= i {
+		c.parent = append(c.parent, int32(len(c.parent)))
 	}
-	root := c.find(p)
-	c.parent[k] = root
-	return root
+	for c.parent[i] != i {
+		c.parent[i] = c.parent[c.parent[i]] // path halving
+		i = c.parent[i]
+	}
+	return i
 }
 
-func (c *ccState) union(a, b string) {
+func (c *ccState) union(a, b int32) {
 	ra, rb := c.find(a), c.find(b)
-	if ra != rb {
-		if ra < rb {
-			c.parent[rb] = ra
-		} else {
-			c.parent[ra] = rb
-		}
+	if ra == rb {
+		return
+	}
+	if c.g.keys[ra] < c.g.keys[rb] {
+		c.parent[rb] = ra
+	} else {
+		c.parent[ra] = rb
 	}
 }
 
-func (c *ccState) addTerm(t uexpr.Tuple) string {
-	k := tupleKey(t)
-	if _, ok := c.terms[k]; !ok {
-		c.terms[k] = t
-		c.parent[k] = k
-		switch x := t.(type) {
-		case *uexpr.TAttr:
-			c.addTerm(x.T)
-		case *uexpr.TConcat:
-			c.addTerm(x.L)
-			c.addTerm(x.R)
-		}
+// newCC returns a fresh union-find over the current universe, reusing the
+// grounder's scratch array (at most one ccState is live per DPLL node).
+func (g *grounder) newCC() *ccState {
+	n := len(g.terms)
+	if cap(g.parentBuf) < n {
+		g.parentBuf = make([]int32, n)
 	}
-	return k
+	p := g.parentBuf[:n]
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &ccState{g: g, parent: p}
+}
+
+type predKey struct {
+	sym   template.Sym
+	class int32
 }
 
 // buildCC constructs the congruence closure from positive tuple-equality
 // literals and checks negative ones; ok=false signals a conflict.
 func (g *grounder) buildCC(assign []int) (*ccState, bool) {
-	cc := &ccState{parent: map[string]string{}, terms: map[string]uexpr.Tuple{}}
-	// Register all tuple terms appearing in any atom.
-	for _, a := range g.atoms {
-		walkFormulaTuples(a, func(t uexpr.Tuple) { cc.addTerm(t) })
-	}
+	cc := g.newCC()
 	// Union positive equalities.
-	for id, a := range g.atoms {
-		if assign[id] != evalTrue {
-			continue
-		}
-		if eq, ok := a.(*fol.TupleEq); ok {
-			cc.union(cc.addTerm(eq.L), cc.addTerm(eq.R))
+	for _, ea := range g.eqAtoms {
+		if assign[ea.id] == evalTrue {
+			cc.union(ea.l, ea.r)
 		}
 	}
 	// Congruence: a(t1) ~ a(t2) when t1 ~ t2, grouped by attribute symbol.
-	byAttr := map[template.Sym][]string{}
-	ccKeys := make([]string, 0, len(cc.terms))
-	for k := range cc.terms {
-		ccKeys = append(ccKeys, k)
-	}
-	sort.Strings(ccKeys)
-	for _, k := range ccKeys {
-		if ta, ok := cc.terms[k].(*uexpr.TAttr); ok {
-			byAttr[ta.Attrs] = append(byAttr[ta.Attrs], k)
-		}
-	}
 	for changed := true; changed; {
 		changed = false
-		for _, group := range byAttr {
+		for _, group := range g.attrGroups {
 			for i := 0; i < len(group); i++ {
-				ti := cc.terms[group[i]].(*uexpr.TAttr)
 				for j := i + 1; j < len(group); j++ {
-					tj := cc.terms[group[j]].(*uexpr.TAttr)
-					if cc.find(tupleKey(ti.T)) == cc.find(tupleKey(tj.T)) &&
+					if cc.find(g.child[group[i]]) == cc.find(g.child[group[j]]) &&
 						cc.find(group[i]) != cc.find(group[j]) {
 						cc.union(group[i], group[j])
 						changed = true
@@ -511,40 +626,23 @@ func (g *grounder) buildCC(assign []int) (*ccState, bool) {
 		}
 	}
 	// Check negative equalities.
-	for id, a := range g.atoms {
-		if assign[id] != evalFalse {
-			continue
-		}
-		if eq, ok := a.(*fol.TupleEq); ok {
-			if cc.find(tupleKey(eq.L)) == cc.find(tupleKey(eq.R)) {
-				return cc, false
-			}
+	for _, ea := range g.eqAtoms {
+		if assign[ea.id] == evalFalse && cc.find(ea.l) == cc.find(ea.r) {
+			return cc, false
 		}
 	}
 	// Predicate / IsNull congruence: same class, same symbol => same truth.
-	type predKey struct {
-		sym   template.Sym
-		class string
-	}
-	predVal := map[predKey]int{}
-	for id, a := range g.atoms {
-		if assign[id] == evalOpen {
+	predVal := g.predValBuf
+	clear(predVal)
+	for _, pa := range g.predAtoms {
+		if assign[pa.id] == evalOpen {
 			continue
 		}
-		switch x := a.(type) {
-		case *fol.PredApp:
-			k := predKey{sym: x.Pred, class: cc.find(tupleKey(x.T))}
-			if prev, ok := predVal[k]; ok && prev != assign[id] {
-				return cc, false
-			}
-			predVal[k] = assign[id]
-		case *fol.IsNull:
-			k := predKey{sym: template.Sym{Kind: template.KPred, ID: -1}, class: cc.find(tupleKey(x.T))}
-			if prev, ok := predVal[k]; ok && prev != assign[id] {
-				return cc, false
-			}
-			predVal[k] = assign[id]
+		k := predKey{sym: pa.sym, class: cc.find(pa.t)}
+		if prev, ok := predVal[k]; ok && prev != assign[pa.id] {
+			return cc, false
 		}
+		predVal[k] = assign[pa.id]
 	}
 	return cc, true
 }
@@ -810,7 +908,7 @@ func (g *grounder) evalPoly(t fol.Term, assign []int, cc *ccState, ok *bool) *po
 		}
 		return p
 	case *fol.RelApp:
-		v := x.Rel.String() + "@" + cc.find(cc.addTerm(x.T))
+		v := x.Rel.String() + "@" + g.keys[cc.find(g.termID(x.T))]
 		return &poly{monos: [][]string{{v}}}
 	case *fol.ITE:
 		cv := g.evalCond(x.Cond, assign, cc, ok)
@@ -882,10 +980,10 @@ func (g *grounder) evalCond(f fol.Formula, assign []int, cc *ccState, ok *bool) 
 		return !g.evalCond(x.F, assign, cc, ok)
 	case *fol.TupleEq:
 		// Equalities decided by CC when derivable, else by the atom value.
-		if cc.find(cc.addTerm(x.L)) == cc.find(cc.addTerm(x.R)) {
+		if cc.find(g.termID(x.L)) == cc.find(g.termID(x.R)) {
 			return true
 		}
-		id, known := g.atomIdx[f.String()]
+		id, known := g.atomIdx[f]
 		if known && assign[id] != evalOpen {
 			return assign[id] == evalTrue
 		}
@@ -895,7 +993,7 @@ func (g *grounder) evalCond(f fol.Formula, assign []int, cc *ccState, ok *bool) 
 		*ok = false
 		return false
 	default:
-		id, known := g.atomIdx[f.String()]
+		id, known := g.atomIdx[f]
 		if known && assign[id] != evalOpen {
 			return assign[id] == evalTrue
 		}

@@ -14,16 +14,21 @@
 //
 // Exactly like the paper's use of Z3: UNSAT of the negated goal certifies the
 // rule; SAT or Unknown rejects it (conservative).
+//
+// All formulas, tuple terms and integer terms inside the solver are
+// hash-consed through an intern.Pool: structural equality is pointer
+// equality, memo tables key on pointers, and every ordering decision sorts by
+// the pool's cached canonical strings (byte-identical to the historical
+// String()-based keys), keeping verdicts independent of pool history.
 package smt
 
 import (
 	"context"
-	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"wetune/internal/fol"
+	"wetune/internal/intern"
 	"wetune/internal/obs"
 	"wetune/internal/uexpr"
 )
@@ -69,6 +74,11 @@ type Options struct {
 	// Metrics is the registry proof durations, outcome counters and DPLL
 	// decision/backtrack counts are recorded in; nil uses obs.Default().
 	Metrics *obs.Registry
+	// Pool is the hash-consing arena the solve interns into. Sharing a pool
+	// across the many Solve calls of one verification context amortizes
+	// canonicalization; a pool is single-goroutine, so it must never be
+	// shared across workers. nil allocates a private pool per call.
+	Pool *intern.Pool
 }
 
 // DefaultOptions mirror the paper's per-rule verification budget.
@@ -102,18 +112,41 @@ const (
 // both node-budget and wall-clock "timeouts" (the paper's dominant cost, so
 // the timeout counter is the first thing to check when a run stalls).
 func Solve(f fol.Formula, opts Options) (Result, Stats) {
+	return run(f, opts, false)
+}
+
+// SolveNNF is Solve for a formula that is already in negation normal form
+// (e.g. the precomputed goal skeletons of verify's per-pair context); the
+// NNF pass is skipped. If f is already interned in opts.Pool the
+// canonicalization is a single map hit.
+func SolveNNF(f fol.Formula, opts Options) (Result, Stats) {
+	return run(f, opts, true)
+}
+
+func run(f fol.Formula, opts Options, isNNF bool) (Result, Stats) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.Default()
 	}
 	_, sp := obs.ChildSpan(opts.Ctx, "smt.solve")
-	s := &solver{opts: opts, skolemBase: 1 << 24, start: time.Now()}
-	res, st := s.solve(f)
+	pool := opts.Pool
+	if pool == nil {
+		pool = intern.NewPool()
+	}
+	s := &solver{opts: opts, pool: pool, skolemBase: 1 << 24, start: time.Now()}
+	var nf fol.Formula
+	if isNNF {
+		nf = pool.Formula(f)
+	} else {
+		nf = nnfIn(pool, f, true)
+	}
+	res, st := s.solve(nf)
 	reg.Histogram(metricProofSeconds).Observe(time.Since(s.start))
 	reg.Counter(metricOutcome + res.String()).Inc()
 	reg.Counter(metricDecisions).Add(int64(st.Decisions))
 	reg.Counter(metricBacktracks).Add(int64(st.Backtracks))
 	reg.Counter(metricInstances).Add(int64(st.Instances))
+	pool.FlushMetrics(reg)
 	sp.SetNote("%s nodes=%d decisions=%d backtracks=%d", res, st.Nodes, st.Decisions, st.Backtracks)
 	sp.End()
 	return res, st
@@ -126,8 +159,17 @@ func ProveValid(hypotheses, goal fol.Formula, opts Options) (bool, Stats) {
 	return res == Unsat, st
 }
 
+// NNF returns f in negation normal form, interned in p. Combined with
+// SolveNNF this lets callers precompute the constraint-independent side of a
+// proof obligation once and reuse it across many solver calls.
+func NNF(p *intern.Pool, f fol.Formula) fol.Formula { return nnfIn(p, f, true) }
+
+// NegNNF returns the negation of f in negation normal form, interned in p.
+func NegNNF(p *intern.Pool, f fol.Formula) fol.Formula { return nnfIn(p, f, false) }
+
 type solver struct {
 	opts       Options
+	pool       *intern.Pool
 	skolemBase int
 	stats      Stats
 	start      time.Time
@@ -140,68 +182,70 @@ func (s *solver) expired() bool {
 	return s.opts.Deadline > 0 && time.Since(s.start) > s.opts.Deadline
 }
 
-func (s *solver) freshSkolem() *uexpr.TVar {
-	v := &uexpr.TVar{ID: s.skolemBase}
+func (s *solver) freshSkolem() uexpr.Tuple {
+	v := s.pool.MkVar(s.skolemBase)
 	s.skolemBase++
 	return v
 }
 
-// nnf pushes negations to atoms. polarity=false means the formula is negated.
-func (s *solver) nnf(f fol.Formula, positive bool) fol.Formula {
+// nnfIn pushes negations to atoms, interning every node in p.
+// positive=false means the formula is negated.
+func nnfIn(p *intern.Pool, f fol.Formula, positive bool) fol.Formula {
 	switch x := f.(type) {
 	case *fol.TrueF:
 		if positive {
-			return x
+			return p.True()
 		}
-		return &fol.FalseF{}
+		return p.False()
 	case *fol.FalseF:
 		if positive {
-			return x
+			return p.False()
 		}
-		return &fol.TrueF{}
+		return p.True()
 	case *fol.Not:
-		return s.nnf(x.F, !positive)
+		return nnfIn(p, x.F, !positive)
 	case *fol.And:
 		out := make([]fol.Formula, len(x.Fs))
 		for i, g := range x.Fs {
-			out[i] = s.nnf(g, positive)
+			out[i] = nnfIn(p, g, positive)
 		}
 		if positive {
-			return fol.MkAnd(out...)
+			return p.MkAnd(out...)
 		}
-		return fol.MkOr(out...)
+		return p.MkOr(out...)
 	case *fol.Or:
 		out := make([]fol.Formula, len(x.Fs))
 		for i, g := range x.Fs {
-			out[i] = s.nnf(g, positive)
+			out[i] = nnfIn(p, g, positive)
 		}
 		if positive {
-			return fol.MkOr(out...)
+			return p.MkOr(out...)
 		}
-		return fol.MkAnd(out...)
+		return p.MkAnd(out...)
 	case *fol.Implies:
 		if positive {
-			return fol.MkOr(s.nnf(x.L, false), s.nnf(x.R, true))
+			return p.MkOr(nnfIn(p, x.L, false), nnfIn(p, x.R, true))
 		}
-		return fol.MkAnd(s.nnf(x.L, true), s.nnf(x.R, false))
+		return p.MkAnd(nnfIn(p, x.L, true), nnfIn(p, x.R, false))
 	case *fol.Forall:
-		body := s.nnf(x.Body, positive)
+		body := nnfIn(p, x.Body, positive)
 		if positive {
-			return &fol.Forall{Vars: x.Vars, Body: body}
+			return p.MkForall(x.Vars, body)
 		}
-		return &fol.Exists{Vars: x.Vars, Body: body}
+		return p.MkExists(x.Vars, body)
 	case *fol.Exists:
-		body := s.nnf(x.Body, positive)
+		body := nnfIn(p, x.Body, positive)
 		if positive {
-			return &fol.Exists{Vars: x.Vars, Body: body}
+			return p.MkExists(x.Vars, body)
 		}
-		return &fol.Forall{Vars: x.Vars, Body: body}
+		return p.MkForall(x.Vars, body)
 	default:
 		// Atom (possibly containing ITE conditions, handled at ground level).
+		a := p.Formula(f)
 		if positive {
-			return f
+			return a
 		}
-		return &fol.Not{F: f}
+		return p.MkNot(a)
 	}
 }
 
@@ -213,21 +257,35 @@ func (s *solver) skolemize(f fol.Formula) fol.Formula {
 	case *fol.Exists:
 		body := x.Body
 		for _, v := range x.Vars {
-			body = substFormulaVar(body, v.ID, s.freshSkolem())
+			body = s.pool.SubstFormula(body, v.ID, s.freshSkolem())
 		}
 		return s.skolemize(body)
 	case *fol.And:
 		out := make([]fol.Formula, len(x.Fs))
+		changed := false
 		for i, g := range x.Fs {
 			out[i] = s.skolemize(g)
+			if out[i] != g {
+				changed = true
+			}
 		}
-		return fol.MkAnd(out...)
+		if !changed {
+			return f
+		}
+		return s.pool.MkAnd(out...)
 	case *fol.Or:
 		out := make([]fol.Formula, len(x.Fs))
+		changed := false
 		for i, g := range x.Fs {
 			out[i] = s.skolemize(g)
+			if out[i] != g {
+				changed = true
+			}
 		}
-		return fol.MkOr(out...)
+		if !changed {
+			return f
+		}
+		return s.pool.MkOr(out...)
 	case *fol.Forall:
 		// Keep; instantiated later. (Inner existentials are skolemized per
 		// instance.)
@@ -237,8 +295,9 @@ func (s *solver) skolemize(f fol.Formula) fol.Formula {
 	}
 }
 
-func (s *solver) solve(f fol.Formula) (Result, Stats) {
-	nf := s.skolemize(s.nnf(f, true))
+// solve decides a canonical NNF formula.
+func (s *solver) solve(nf fol.Formula) (Result, Stats) {
+	nf = s.skolemize(nf)
 
 	// Instantiation loop: split into ground part and universal templates;
 	// instantiate universals over the ground tuple universe.
@@ -259,7 +318,7 @@ func (s *solver) solve(f fol.Formula) (Result, Stats) {
 	}
 	split(nf)
 
-	seenInst := map[string]bool{}
+	seenInst := map[fol.Formula]bool{}
 	for round := 0; round < s.opts.InstRounds; round++ {
 		if s.expired() {
 			return Unknown, s.stats
@@ -272,11 +331,10 @@ func (s *solver) solve(f fol.Formula) (Result, Stats) {
 		for _, u := range universals {
 			insts := s.instantiate(u, pool)
 			for _, inst := range insts {
-				key := formulaKey(inst)
-				if seenInst[key] {
+				if seenInst[inst] {
 					continue
 				}
-				seenInst[key] = true
+				seenInst[inst] = true
 				// The instance may contain nested foralls (e.g. Unique's
 				// second conjunct after partial instantiation) — resplit.
 				inst = s.skolemize(inst)
@@ -305,18 +363,25 @@ func (s *solver) solve(f fol.Formula) (Result, Stats) {
 
 	// Decide the ground conjunction.
 	g := &grounder{solver: s}
-	res := g.decide(fol.MkAnd(ground...))
+	res := g.decide(s.pool.MkAnd(ground...))
 	s.stats.Atoms = len(g.atoms)
 	return res, s.stats
 }
 
 // groundTerms collects ground tuple terms (bounded depth) from formulas.
+// After skolemization every TVar is a constant, so every tuple term in the
+// quantifier-free parts is ground by construction.
 func (s *solver) groundTerms(fs []fol.Formula) []uexpr.Tuple {
-	set := map[string]uexpr.Tuple{}
+	seen := map[uexpr.Tuple]bool{}
+	var kept []uexpr.Tuple
 	var addT func(t uexpr.Tuple)
 	addT = func(t uexpr.Tuple) {
-		if tupleDepth(t) <= s.opts.MaxTermDepth {
-			set[tupleKey(t)] = t
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if s.pool.TupleDepth(t) <= s.opts.MaxTermDepth {
+			kept = append(kept, t)
 		}
 		switch x := t.(type) {
 		case *uexpr.TAttr:
@@ -329,16 +394,12 @@ func (s *solver) groundTerms(fs []fol.Formula) []uexpr.Tuple {
 	for _, f := range fs {
 		walkFormulaTuples(f, addT)
 	}
-	keys := make([]string, 0, len(set))
-	for k := range set {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]uexpr.Tuple, len(keys))
-	for i, k := range keys {
-		out[i] = set[k]
-	}
-	return out
+	// Deterministic order: sort by the cached canonical key, byte-identical
+	// to the historical string sort, independent of interning history.
+	sort.Slice(kept, func(i, j int) bool {
+		return s.pool.TupleKey(kept[i]) < s.pool.TupleKey(kept[j])
+	})
+	return kept
 }
 
 // instantiate produces all ground instances of a universal formula over the
@@ -352,7 +413,7 @@ func (s *solver) instantiate(u *fol.Forall, pool []uexpr.Tuple) []fol.Formula {
 			return
 		}
 		for _, g := range pool {
-			rec(i+1, substFormulaVar(body, u.Vars[i].ID, g))
+			rec(i+1, s.pool.SubstFormula(body, u.Vars[i].ID, g))
 		}
 	}
 	if len(pool) == 0 {
@@ -368,132 +429,6 @@ func (s *solver) instantiate(u *fol.Forall, pool []uexpr.Tuple) []fol.Formula {
 	}
 	rec(0, u.Body)
 	return out
-}
-
-func tupleDepth(t uexpr.Tuple) int {
-	switch x := t.(type) {
-	case *uexpr.TVar:
-		return 0
-	case *uexpr.TAttr:
-		return 1 + tupleDepth(x.T)
-	case *uexpr.TConcat:
-		l, r := tupleDepth(x.L), tupleDepth(x.R)
-		if l > r {
-			return 1 + l
-		}
-		return 1 + r
-	}
-	return 0
-}
-
-func tupleKey(t uexpr.Tuple) string {
-	switch x := t.(type) {
-	case *uexpr.TVar:
-		return fmt.Sprintf("t%d", x.ID)
-	case *uexpr.TAttr:
-		return fmt.Sprintf("%s(%s)", x.Attrs, tupleKey(x.T))
-	case *uexpr.TConcat:
-		return fmt.Sprintf("(%s.%s)", tupleKey(x.L), tupleKey(x.R))
-	}
-	return "?"
-}
-
-func formulaKey(f fol.Formula) string { return f.String() }
-
-// substFormulaVar substitutes a tuple variable with a ground term everywhere
-// in the formula, including inside integer terms and ITE conditions.
-func substFormulaVar(f fol.Formula, id int, repl uexpr.Tuple) fol.Formula {
-	st := func(t uexpr.Tuple) uexpr.Tuple { return substTupleVar(t, id, repl) }
-	switch x := f.(type) {
-	case *fol.TrueF, *fol.FalseF:
-		return x
-	case *fol.TupleEq:
-		return &fol.TupleEq{L: st(x.L), R: st(x.R)}
-	case *fol.PredApp:
-		return &fol.PredApp{Pred: x.Pred, T: st(x.T)}
-	case *fol.IsNull:
-		return &fol.IsNull{T: st(x.T)}
-	case *fol.IntEq:
-		return &fol.IntEq{L: substTermVar(x.L, id, repl), R: substTermVar(x.R, id, repl)}
-	case *fol.IntGt0:
-		return &fol.IntGt0{T: substTermVar(x.T, id, repl)}
-	case *fol.IntLe1:
-		return &fol.IntLe1{T: substTermVar(x.T, id, repl)}
-	case *fol.Not:
-		return &fol.Not{F: substFormulaVar(x.F, id, repl)}
-	case *fol.And:
-		out := make([]fol.Formula, len(x.Fs))
-		for i, g := range x.Fs {
-			out[i] = substFormulaVar(g, id, repl)
-		}
-		return &fol.And{Fs: out}
-	case *fol.Or:
-		out := make([]fol.Formula, len(x.Fs))
-		for i, g := range x.Fs {
-			out[i] = substFormulaVar(g, id, repl)
-		}
-		return &fol.Or{Fs: out}
-	case *fol.Implies:
-		return &fol.Implies{L: substFormulaVar(x.L, id, repl), R: substFormulaVar(x.R, id, repl)}
-	case *fol.Forall:
-		for _, v := range x.Vars {
-			if v.ID == id {
-				return x
-			}
-		}
-		return &fol.Forall{Vars: x.Vars, Body: substFormulaVar(x.Body, id, repl)}
-	case *fol.Exists:
-		for _, v := range x.Vars {
-			if v.ID == id {
-				return x
-			}
-		}
-		return &fol.Exists{Vars: x.Vars, Body: substFormulaVar(x.Body, id, repl)}
-	}
-	panic(fmt.Sprintf("smt: substFormulaVar on %T", f))
-}
-
-func substTermVar(t fol.Term, id int, repl uexpr.Tuple) fol.Term {
-	switch x := t.(type) {
-	case *fol.RelApp:
-		return &fol.RelApp{Rel: x.Rel, T: substTupleVar(x.T, id, repl)}
-	case *fol.IntConst:
-		return x
-	case *fol.ITE:
-		return &fol.ITE{
-			Cond: substFormulaVar(x.Cond, id, repl),
-			Then: substTermVar(x.Then, id, repl),
-			Else: substTermVar(x.Else, id, repl),
-		}
-	case *fol.MulT:
-		out := make([]fol.Term, len(x.Fs))
-		for i, g := range x.Fs {
-			out[i] = substTermVar(g, id, repl)
-		}
-		return &fol.MulT{Fs: out}
-	case *fol.AddT:
-		out := make([]fol.Term, len(x.Ts))
-		for i, g := range x.Ts {
-			out[i] = substTermVar(g, id, repl)
-		}
-		return &fol.AddT{Ts: out}
-	}
-	panic(fmt.Sprintf("smt: substTermVar on %T", t))
-}
-
-func substTupleVar(t uexpr.Tuple, id int, repl uexpr.Tuple) uexpr.Tuple {
-	switch x := t.(type) {
-	case *uexpr.TVar:
-		if x.ID == id {
-			return repl
-		}
-		return x
-	case *uexpr.TAttr:
-		return &uexpr.TAttr{Attrs: x.Attrs, T: substTupleVar(x.T, id, repl)}
-	case *uexpr.TConcat:
-		return &uexpr.TConcat{L: substTupleVar(x.L, id, repl), R: substTupleVar(x.R, id, repl)}
-	}
-	panic("unreachable")
 }
 
 // walkFormulaTuples visits every tuple term in the quantifier-free parts of a
@@ -552,11 +487,3 @@ func walkTermTuples(t fol.Term, fn func(uexpr.Tuple)) {
 		}
 	}
 }
-
-// isGroundTuple reports whether the term contains no quantified variables;
-// after skolemization every TVar is a constant, so this is always true. Kept
-// for clarity at call sites.
-func isGroundTuple(t uexpr.Tuple) bool { return true }
-
-var _ = strings.Contains // reserved for diagnostics
-var _ = isGroundTuple

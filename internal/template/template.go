@@ -6,6 +6,7 @@ package template
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -45,7 +46,10 @@ type Sym struct {
 	ID   int
 }
 
-func (s Sym) String() string { return fmt.Sprintf("%s%d", s.Kind, s.ID) }
+// String renders the symbol as kind-prefix + ID ("r0", "a1", "ar2", "p0",
+// "f1"). This sits on the verifier's hottest paths (memo keys, canonical
+// orderings), so it avoids fmt.
+func (s Sym) String() string { return s.Kind.String() + strconv.Itoa(s.ID) }
 
 // AttrsOf returns the implicit all-attributes symbol of relation r.
 func AttrsOf(r Sym) Sym { return Sym{Kind: KAttrsOf, ID: r.ID} }

@@ -1,0 +1,31 @@
+package uexpr
+
+import (
+	"testing"
+
+	"wetune/internal/template"
+)
+
+// BenchmarkNormalize measures normalization of every translatable size-≤2
+// template — the normalizer runs on this exact population (twice per
+// constraint set) inside the discovery pipeline, so allocs/op here tracks the
+// hot cross-product/rename-apart path directly.
+func BenchmarkNormalize(b *testing.B) {
+	var exprs []Expr
+	for _, t := range template.Enumerate(template.EnumOptions{MaxSize: 2}) {
+		if e, _, err := Translate(t); err == nil {
+			exprs = append(exprs, e)
+		}
+	}
+	if len(exprs) == 0 {
+		b.Fatal("no translatable templates")
+	}
+	env := &Env{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, e := range exprs {
+			Normalize(e, env)
+		}
+	}
+}

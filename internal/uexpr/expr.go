@@ -308,6 +308,113 @@ func SubstSyms(e Expr, m map[template.Sym]template.Sym) Expr {
 	return rec(e)
 }
 
+// ApplySyms is SubstSyms for non-injective mappings: after mapping, each
+// TVar scope is deduplicated preserving first occurrence. Scope length is
+// semantically significant to the normalizer (a summation variable ranging
+// over exactly its scope relations simplifies differently than one ranging
+// wider), and Translate builds scopes from template.RelSyms, which dedupes
+// after template substitution; mapping an already-translated expression must
+// reproduce that, so merging two relations into one representative must
+// collapse their scope entries. SubstSyms keeps its elementwise behavior for
+// the injective renamings it serves today.
+func ApplySyms(e Expr, m map[template.Sym]template.Sym) Expr {
+	e = SubstSyms(e, m)
+	var recT func(t Tuple) Tuple
+	recT = func(t Tuple) Tuple {
+		switch x := t.(type) {
+		case *TVar:
+			return &TVar{ID: x.ID, Scope: dedupeSyms(x.Scope)}
+		case *TAttr:
+			return &TAttr{Attrs: x.Attrs, T: recT(x.T)}
+		case *TConcat:
+			return &TConcat{L: recT(x.L), R: recT(x.R)}
+		}
+		panic("unreachable")
+	}
+	var rec func(e Expr) Expr
+	rec = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Rel:
+			return &Rel{Rel: x.Rel, T: recT(x.T)}
+		case *Bracket:
+			switch b := x.B.(type) {
+			case *BEq:
+				return &Bracket{B: &BEq{L: recT(b.L), R: recT(b.R)}}
+			case *BPred:
+				return &Bracket{B: &BPred{Pred: b.Pred, T: recT(b.T)}}
+			case *BIsNull:
+				return &Bracket{B: &BIsNull{T: recT(b.T)}}
+			}
+		case *Not:
+			return &Not{E: rec(x.E)}
+		case *Squash:
+			return &Squash{E: rec(x.E)}
+		case *Sum:
+			vars := make([]*TVar, len(x.Vars))
+			for i, v := range x.Vars {
+				vars[i] = recT(v).(*TVar)
+			}
+			return &Sum{Vars: vars, E: rec(x.E)}
+		case *Mul:
+			fs := make([]Expr, len(x.Fs))
+			for i, f := range x.Fs {
+				fs[i] = rec(f)
+			}
+			return &Mul{Fs: fs}
+		case *Add:
+			ts := make([]Expr, len(x.Ts))
+			for i, t := range x.Ts {
+				ts[i] = rec(t)
+			}
+			return &Add{Ts: ts}
+		case *Const:
+			return x
+		}
+		panic(fmt.Sprintf("uexpr: ApplySyms on %T", e))
+	}
+	return rec(e)
+}
+
+// ApplySymsTuple applies a (possibly non-injective) symbol mapping to a tuple
+// term, deduplicating TVar scopes like ApplySyms.
+func ApplySymsTuple(t Tuple, m map[template.Sym]template.Sym) Tuple {
+	sub := func(s template.Sym) template.Sym {
+		if r, ok := m[s]; ok {
+			return r
+		}
+		return s
+	}
+	var rec func(t Tuple) Tuple
+	rec = func(t Tuple) Tuple {
+		switch x := t.(type) {
+		case *TVar:
+			scope := make([]template.Sym, len(x.Scope))
+			for i, s := range x.Scope {
+				scope[i] = sub(s)
+			}
+			return &TVar{ID: x.ID, Scope: dedupeSyms(scope)}
+		case *TAttr:
+			return &TAttr{Attrs: sub(x.Attrs), T: rec(x.T)}
+		case *TConcat:
+			return &TConcat{L: rec(x.L), R: rec(x.R)}
+		}
+		panic("unreachable")
+	}
+	return rec(t)
+}
+
+func dedupeSyms(syms []template.Sym) []template.Sym {
+	out := make([]template.Sym, 0, len(syms))
+	seen := map[template.Sym]bool{}
+	for _, s := range syms {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // TupleVars collects the IDs of tuple variables free in the term.
 func TupleVars(t Tuple) []int {
 	var out []int

@@ -182,13 +182,12 @@ func (n *normalizer) norm(e Expr) *NF {
 		return n.squashOf(inner)
 	case *Sum:
 		body := n.norm(x.E)
-		out := &NF{}
+		out := &NF{Terms: make([]*Term, 0, len(body.Terms))}
 		for _, t := range body.Terms {
-			nt := &Term{
-				Vars:    append(append([]*TVar{}, x.Vars...), t.Vars...),
-				Factors: t.Factors,
-			}
-			out.Terms = append(out.Terms, nt)
+			vars := make([]*TVar, 0, len(x.Vars)+len(t.Vars))
+			vars = append(vars, x.Vars...)
+			vars = append(vars, t.Vars...)
+			out.Terms = append(out.Terms, &Term{Vars: vars, Factors: t.Factors})
 		}
 		return out
 	case *Mul:
@@ -209,42 +208,53 @@ func (n *normalizer) norm(e Expr) *NF {
 	panic(fmt.Sprintf("uexpr: norm on %T", e))
 }
 
-// crossProduct multiplies two NFs, renaming bound variables apart.
+// crossProduct multiplies two NFs, renaming bound variables apart. This is
+// the normalizer's allocation hot spot (every Mul distributes through it), so
+// slices are built at exact capacity in one pass.
 func (n *normalizer) crossProduct(a, b *NF) *NF {
-	out := &NF{}
+	out := &NF{Terms: make([]*Term, 0, len(a.Terms)*len(b.Terms))}
 	for _, ta := range a.Terms {
 		for _, tb := range b.Terms {
 			tb2 := n.renameApart(tb, ta)
-			nt := &Term{
-				Vars:    append(append([]*TVar{}, ta.Vars...), tb2.Vars...),
-				Factors: append(append([]Factor{}, ta.Factors...), tb2.Factors...),
-			}
-			out.Terms = append(out.Terms, nt)
+			vars := make([]*TVar, 0, len(ta.Vars)+len(tb2.Vars))
+			vars = append(vars, ta.Vars...)
+			vars = append(vars, tb2.Vars...)
+			factors := make([]Factor, 0, len(ta.Factors)+len(tb2.Factors))
+			factors = append(factors, ta.Factors...)
+			factors = append(factors, tb2.Factors...)
+			out.Terms = append(out.Terms, &Term{Vars: vars, Factors: factors})
 		}
 	}
 	return out
 }
 
 // renameApart alpha-renames t's bound variables that clash with other's.
+// All clashing variables are renamed in one simultaneous substitution walk
+// (fresh IDs never collide with remaining clashes, so this equals the
+// variable-at-a-time rewrite it replaces); a clash-free term is returned
+// unchanged.
 func (n *normalizer) renameApart(t *Term, other *Term) *Term {
 	used := map[int]bool{}
 	for _, v := range other.Vars {
 		used[v.ID] = true
 	}
-	out := t
+	var ren map[int]*TVar
 	for _, v := range t.Vars {
 		if used[v.ID] {
-			nv := n.fresh(v.Scope)
-			out = substTermVar(out, v.ID, nv)
+			if ren == nil {
+				ren = map[int]*TVar{}
+			}
+			if _, ok := ren[v.ID]; !ok {
+				ren[v.ID] = n.fresh(v.Scope)
+			}
 		}
 	}
-	return out
-}
-
-func substTermVar(t *Term, id int, nv *TVar) *Term {
+	if ren == nil {
+		return t
+	}
 	vars := make([]*TVar, len(t.Vars))
 	for i, v := range t.Vars {
-		if v.ID == id {
+		if nv, ok := ren[v.ID]; ok {
 			vars[i] = nv
 		} else {
 			vars[i] = v
@@ -252,9 +262,114 @@ func substTermVar(t *Term, id int, nv *TVar) *Term {
 	}
 	factors := make([]Factor, len(t.Factors))
 	for i, f := range t.Factors {
-		factors[i] = substFactorTuple(f, id, nv)
+		factors[i] = substFactorTuples(f, ren)
 	}
 	return &Term{Vars: vars, Factors: factors}
+}
+
+// substFactorTuples is substFactorTuple for a simultaneous multi-variable
+// renaming; untouched subtrees are returned as the same pointer.
+func substFactorTuples(f Factor, ren map[int]*TVar) Factor {
+	switch x := f.(type) {
+	case *Rel:
+		if u := substTuples(x.T, ren); u != x.T {
+			return &Rel{Rel: x.Rel, T: u}
+		}
+		return f
+	case *Bracket:
+		switch b := x.B.(type) {
+		case *BEq:
+			l, r := substTuples(b.L, ren), substTuples(b.R, ren)
+			if l != b.L || r != b.R {
+				return &Bracket{B: &BEq{L: l, R: r}}
+			}
+		case *BPred:
+			if u := substTuples(b.T, ren); u != b.T {
+				return &Bracket{B: &BPred{Pred: b.Pred, T: u}}
+			}
+		case *BIsNull:
+			if u := substTuples(b.T, ren); u != b.T {
+				return &Bracket{B: &BIsNull{T: u}}
+			}
+		}
+		return f
+	case *NotNF:
+		if u := substNFTuples(x.NF, ren); u != x.NF {
+			return &NotNF{NF: u}
+		}
+		return f
+	case *SquashNF:
+		if u := substNFTuples(x.NF, ren); u != x.NF {
+			return &SquashNF{NF: u}
+		}
+		return f
+	}
+	panic("unreachable")
+}
+
+func substTuples(t Tuple, ren map[int]*TVar) Tuple {
+	switch x := t.(type) {
+	case *TVar:
+		if nv, ok := ren[x.ID]; ok {
+			return nv
+		}
+		return t
+	case *TAttr:
+		if u := substTuples(x.T, ren); u != x.T {
+			return &TAttr{Attrs: x.Attrs, T: u}
+		}
+		return t
+	case *TConcat:
+		l, r := substTuples(x.L, ren), substTuples(x.R, ren)
+		if l != x.L || r != x.R {
+			return &TConcat{L: l, R: r}
+		}
+		return t
+	}
+	panic("unreachable")
+}
+
+func substNFTuples(nf *NF, ren map[int]*TVar) *NF {
+	out := make([]*Term, len(nf.Terms))
+	changed := false
+	for ti, t := range nf.Terms {
+		eff := ren
+		for _, v := range t.Vars {
+			if _, ok := eff[v.ID]; ok {
+				// A bound variable shadows part of the renaming in this term;
+				// restrict the map (matching the single-variable walker, which
+				// keeps such terms untouched for the shadowed variable).
+				eff = map[int]*TVar{}
+				for id, nv := range ren {
+					eff[id] = nv
+				}
+				for _, w := range t.Vars {
+					delete(eff, w.ID)
+				}
+				break
+			}
+		}
+		out[ti] = t
+		if len(eff) == 0 {
+			continue
+		}
+		factors := make([]Factor, len(t.Factors))
+		fchanged := false
+		for i, f := range t.Factors {
+			factors[i] = substFactorTuples(f, eff)
+			if factors[i] != f {
+				fchanged = true
+			}
+		}
+		if fchanged {
+			out[ti] = &Term{Vars: t.Vars, Factors: factors}
+			changed = true
+		}
+	}
+	if !changed {
+		return nf
+	}
+	return &NF{Terms: out}
 }
 
 func substFactorTuple(f Factor, id int, repl Tuple) Factor {

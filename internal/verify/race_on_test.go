@@ -1,0 +1,8 @@
+//go:build race
+
+package verify
+
+// raceEnabled reports whether the race detector is compiled in. The fuzzed
+// differential pass is single-threaded per case, so the detector adds no
+// coverage — only a 5-10x slowdown that risks the package test timeout.
+const raceEnabled = true

@@ -21,7 +21,6 @@ import (
 	"strings"
 
 	"wetune/internal/constraint"
-	"wetune/internal/fol"
 	"wetune/internal/obs"
 	"wetune/internal/smt"
 	"wetune/internal/template"
@@ -118,12 +117,24 @@ func cancelled(opts Options) bool {
 // per-verdict counters (verify_builtin_<outcome>, verify_method_<method>) in
 // the default metrics registry and, when the context carries a tracing span,
 // attaches a "verify" child span noting the outcome.
+//
+// One-shot verification builds a fresh PairContext per call; the relaxation
+// search holds one context per template pair instead (see PairContext), which
+// is where the translation/normalization caching pays off.
 func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
+	return instrumented(opts, func(o Options) Report {
+		return NewPairContext(src, dest).verify(cs, o)
+	})
+}
+
+// instrumented wraps a verification stage with the shared span and verdict
+// counters, so the one-shot and per-pair entry points report identically.
+func instrumented(opts Options, fn func(Options) Report) Report {
 	ctx, sp := obs.ChildSpan(opts.Context, "verify")
 	if sp != nil {
 		opts.Context = ctx
 	}
-	rep := verifyOpts(src, dest, cs, opts)
+	rep := fn(opts)
 	reg := obs.Default()
 	reg.Counter("verify_builtin_" + rep.Outcome.String()).Inc()
 	if rep.Outcome == Verified {
@@ -139,68 +150,6 @@ func VerifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Repo
 	sp.SetNote("%s", note)
 	sp.End()
 	return rep
-}
-
-func verifyOpts(src, dest *template.Node, cs *constraint.Set, opts Options) Report {
-	if cancelled(opts) {
-		return Report{Outcome: Rejected, Detail: "cancelled"}
-	}
-	cl := constraint.Closure(cs)
-	reps := buildReps(cl)
-	srcU := src.Substitute(reps)
-	destU := dest.Substitute(reps)
-
-	env := buildEnv(cl, reps)
-
-	es, vs, err := uexpr.Translate(srcU)
-	if err != nil {
-		return Report{Outcome: Unsupported, Detail: err.Error()}
-	}
-	ed, vd, err := uexpr.Translate(destU)
-	if err != nil {
-		return Report{Outcome: Unsupported, Detail: err.Error()}
-	}
-	ed = uexpr.SubstTuple(ed, vd.ID, vs)
-
-	ns := uexpr.Normalize(es, env)
-	nd := uexpr.Normalize(ed, env)
-
-	if !opts.SkipAlgebraic && ns.Canon() == nd.Canon() {
-		return Report{Outcome: Verified, Method: MethodAlgebraic}
-	}
-	if opts.SkipSMT {
-		return Report{Outcome: Rejected, Detail: "algebraic forms differ"}
-	}
-	if cancelled(opts) {
-		return Report{Outcome: Rejected, Detail: "cancelled"}
-	}
-
-	// SMT fallback: translate the residual constraints and the equation.
-	if opts.SMT.Ctx == nil {
-		opts.SMT.Ctx = opts.Context
-	}
-	fv := fol.NewFreshVars(1 << 16)
-	residual := residualConstraints(cl, reps)
-	hyp, err := fol.SetToFOL(residual, fv)
-	if err != nil {
-		return Report{Outcome: Rejected, Detail: err.Error()}
-	}
-	candidates, err := fol.EquationCandidates(ns, nd, vs)
-	if err != nil || len(candidates) == 0 {
-		return Report{Outcome: Rejected, Detail: "no FOL translation (footnote 3)"}
-	}
-	var last smt.Stats
-	for _, goal := range candidates {
-		if cancelled(opts) {
-			return Report{Outcome: Rejected, Stats: last, Detail: "cancelled"}
-		}
-		ok, st := smt.ProveValid(hyp, goal, opts.SMT)
-		last = st
-		if ok {
-			return Report{Outcome: Verified, Method: MethodSMT, Stats: st}
-		}
-	}
-	return Report{Outcome: Rejected, Stats: last, Detail: "SMT could not prove UNSAT"}
 }
 
 // buildReps maps every symbol to its equivalence-class representative under

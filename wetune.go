@@ -318,14 +318,14 @@ func Discover(opts DiscoveryOptions) *DiscoveryResult {
 	}
 	popts := pipeline.Options{
 		MaxTemplateSize: opts.MaxTemplateSize,
-		Prover:          pipeline.AlgebraicProver,
+		PairProver:      pipeline.AlgebraicPairProver,
 		Workers:         opts.Workers,
 		Cache:           pipeline.Shared(),
 		Progress:        opts.Progress,
 		TraceSlow:       opts.TraceSlow,
 	}
 	if opts.UseSMT {
-		popts.Prover = pipeline.DefaultProver
+		popts.PairProver = pipeline.DefaultPairProver
 		popts.CacheNamespace = "smt:"
 	}
 	if opts.SlowTrace != nil {
