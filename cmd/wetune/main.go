@@ -19,7 +19,10 @@
 //	                                            replayable counterexample to -repro
 //	wetune fuzz -replay FILE                    re-execute a saved repro and report whether the
 //	                                            mismatch still reproduces
-//	wetune rewrite -q "SELECT ..."              rewrite one query over the demo schema
+//	wetune rewrite -q "SELECT ..." [-json]      rewrite one query over the demo schema;
+//	                                            -json emits input/output SQL, the applied
+//	                                            rule chain, cost before/after and search
+//	                                            stats as JSON
 //	wetune bench [experiment]                   regenerate evaluation artifacts
 //	                                            (table1 study50 discovery table7 apps
 //	                                             calcite latency casestudy verifiers
@@ -29,6 +32,12 @@
 //	        [-out FILE]                         and measure it (ns/op, allocs/op, prover
 //	                                            calls, cache hit rate); -json appends the
 //	                                            entry to -out (default BENCH_discover.json)
+//	wetune bench rewrite [-json] [-name NAME]   run the fixed rewrite workload (app corpus +
+//	        [-out FILE] [-engine E]             Calcite suite) and measure it (ns/query,
+//	                                            allocs/query, rule attempts, index pruning,
+//	                                            memo hits); -engine greedy measures the
+//	                                            retained pre-index loop; -json appends the
+//	                                            entry to -out (default BENCH_rewrite.json)
 package main
 
 import (
@@ -287,6 +296,7 @@ func cmdFuzz(args []string) {
 func cmdRewrite(args []string) {
 	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
 	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
+	asJSON := fs.Bool("json", false, "emit the machine-readable result (input/output SQL, applied rule chain, cost before/after, search stats) as JSON")
 	fs.Parse(args)
 	if *query == "" {
 		fmt.Fprintln(os.Stderr, "rewrite: -q is required")
@@ -294,18 +304,30 @@ func cmdRewrite(args []string) {
 	}
 	schema := demoSchema()
 	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
-	out, applied, err := opt.OptimizeSQL(*query)
+	res, err := opt.OptimizeSQLResult(*query)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	fmt.Println("original: ", *query)
-	fmt.Println("rewritten:", out)
-	if len(applied) == 0 {
+	if *asJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Println("original: ", res.Input)
+	fmt.Println("rewritten:", res.Output)
+	if len(res.Applied) == 0 {
 		fmt.Println("(no rule applied)")
 	}
-	for _, a := range applied {
+	for _, a := range res.Applied {
 		fmt.Printf("  applied rule %d (%s)\n", a.RuleNo, a.RuleName)
+	}
+	if res.Stats.Truncated {
+		fmt.Printf("(search truncated by %s budget; a larger budget may find more rewrites)\n", res.Stats.TruncatedBy)
 	}
 }
 
@@ -359,6 +381,10 @@ func cmdBench(args []string) {
 	}
 	if which == "discover" {
 		cmdBenchDiscover(args[1:])
+		return
+	}
+	if which == "rewrite" {
+		cmdBenchRewrite(args[1:])
 		return
 	}
 	experiments := []struct {
@@ -420,6 +446,38 @@ func cmdBenchDiscover(args []string) {
 	data, err := json.MarshalIndent(entry, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench discover:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+}
+
+// cmdBenchRewrite measures the fixed rewrite workload (app corpus + Calcite
+// suite) once and prints the measurement as JSON. With -json the entry is
+// also appended to -out, so the before/after trajectory of an engine change
+// can be committed; -engine greedy measures the retained pre-index loop for
+// comparison.
+func cmdBenchRewrite(args []string) {
+	fs := flag.NewFlagSet("bench rewrite", flag.ExitOnError)
+	appendOut := fs.Bool("json", false, "append the measurement to the -out trajectory file")
+	name := fs.String("name", "run", "label recorded with the measurement")
+	out := fs.String("out", "BENCH_rewrite.json", "trajectory file used by -json")
+	engine := fs.String("engine", "search", "rewrite engine: search (indexed best-first) or greedy (retained baseline)")
+	fs.Parse(args)
+
+	entry, err := bench.RunRewrite(*name, *engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench rewrite:", err)
+		os.Exit(1)
+	}
+	if *appendOut {
+		if _, err := bench.AppendRewriteJSON(*out, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "bench rewrite:", err)
+			os.Exit(1)
+		}
+	}
+	data, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench rewrite:", err)
 		os.Exit(1)
 	}
 	fmt.Println(string(data))

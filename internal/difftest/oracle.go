@@ -153,7 +153,35 @@ func runIteration(seed int64, iter int, ruleSet []rules.Rule, rows int) ([]*Mism
 			out = append(out, m)
 		}
 	}
+
+	// Also drive the full best-first search: multi-step rewrite chains can
+	// compose rules in ways no single-step candidate exercises, and the
+	// search's own machinery (memo, frontier ranking, index pruning) must not
+	// change results either.
+	final, applied := rw.Rewrite(src)
+	if len(applied) > 0 {
+		got, err := db.Execute(final, nil)
+		last := ruleByNo(ruleSet, applied[len(applied)-1].RuleNo)
+		if err != nil {
+			m := buildMismatch(iter, last, schema, db, src, final, variant, seed)
+			m.Diff = fmt.Sprintf("searched plan failed to execute: %v", err)
+			out = append(out, m)
+		} else if !BagEqual(want.Rows, got.Rows) {
+			out = append(out, buildMismatch(iter, last, schema, db, src, final, variant, seed))
+		}
+	}
 	return out, len(cands), nil
+}
+
+// ruleByNo finds a rule in the set by number (the last rule of a mismatching
+// search chain, for attribution); zero Rule if absent.
+func ruleByNo(rs []rules.Rule, no int) rules.Rule {
+	for _, r := range rs {
+		if r.No == no {
+			return r
+		}
+	}
+	return rules.Rule{No: no}
 }
 
 // buildMismatch shrinks a counterexample and packages it as a repro. The

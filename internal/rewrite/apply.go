@@ -2,8 +2,8 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
-	"wetune/internal/constraint"
 	"wetune/internal/plan"
 	"wetune/internal/rules"
 	"wetune/internal/sql"
@@ -17,16 +17,25 @@ type Matcher struct {
 
 // Apply tries to apply the rule at the root of fragment n. It returns the
 // replacement fragment, or ok=false when the rule does not match there.
+// Callers on a hot path should compile the rule once and use ApplyCompiled;
+// Apply compiles per invocation.
 func (m *Matcher) Apply(rule rules.Rule, n plan.Node) (plan.Node, bool) {
+	return m.ApplyCompiled(CompileRule(rule), n)
+}
+
+// ApplyCompiled tries to apply a pre-compiled rule at the root of fragment n.
+// The compiled form carries the constraint closure resolved once at compile
+// time, so matching allocates only the per-attempt bindings.
+func (m *Matcher) ApplyCompiled(cr *CompiledRule, n plan.Node) (plan.Node, bool) {
 	b := newBinding()
-	if !m.match(rule.Src, n, b) {
+	if !m.match(cr.Rule.Src, n, b) {
 		return nil, false
 	}
-	if !m.checkConstraints(rule, b) {
+	if !m.checkConstraints(cr, b) {
 		return nil, false
 	}
-	res := m.resolver(rule, b)
-	out, err := res.instantiate(rule.Dest)
+	res := &resolver{m: m, b: b, cr: cr}
+	out, err := res.instantiate(cr.Rule.Dest)
 	if err != nil {
 		return nil, false
 	}
@@ -42,37 +51,18 @@ func (m *Matcher) Apply(rule rules.Rule, n plan.Node) (plan.Node, bool) {
 }
 
 // resolver instantiates destination templates, resolving destination-only
-// symbols through the rule's equivalence constraints.
+// symbols through the rule's pre-compiled equivalence constraints.
 type resolver struct {
-	m    *Matcher
-	b    *binding
-	reps map[template.Sym][]template.Sym // symbol -> class members
-	rule rules.Rule
-}
-
-func (m *Matcher) resolver(rule rules.Rule, b *binding) *resolver {
-	cl := constraint.Closure(rule.Constraints)
-	members := map[template.Sym][]template.Sym{}
-	for _, kind := range []constraint.Kind{
-		constraint.RelEq, constraint.AttrsEq, constraint.PredEq, constraint.AggrEq,
-	} {
-		uf := constraint.UnionFind(cl, kind)
-		byRep := map[template.Sym][]template.Sym{}
-		for s, rep := range uf {
-			byRep[rep] = append(byRep[rep], s)
-		}
-		for s, rep := range uf {
-			members[s] = byRep[rep]
-		}
-	}
-	return &resolver{m: m, b: b, reps: members, rule: rule}
+	m  *Matcher
+	b  *binding
+	cr *CompiledRule
 }
 
 func (r *resolver) rel(sym template.Sym) (plan.Node, error) {
 	if p, ok := r.b.rels[sym]; ok {
 		return p, nil
 	}
-	for _, s := range r.reps[sym] {
+	for _, s := range r.cr.reps[sym] {
 		if p, ok := r.b.rels[s]; ok {
 			return p, nil
 		}
@@ -84,7 +74,7 @@ func (r *resolver) attrsOf(sym template.Sym) (attrsBinding, error) {
 	if a, ok := r.b.attrs[sym]; ok {
 		return r.relocate(sym, a), nil
 	}
-	for _, s := range r.reps[sym] {
+	for _, s := range r.cr.reps[sym] {
 		if a, ok := r.b.attrs[s]; ok {
 			return r.relocate(sym, a), nil
 		}
@@ -100,17 +90,11 @@ func (r *resolver) attrsOf(sym template.Sym) (attrsBinding, error) {
 // Moving a read between two instances of one relation is value-preserving
 // only when the rule pins the instances to the same row — which the shipped
 // rules do with a Unique constraint on the RelEq class. Relocation therefore
-// requires such a Unique; without it the original binding is kept (and the
-// resulting no-op candidate is dropped).
+// requires such a Unique (pre-checked at compile time in relocTarget);
+// without it the original binding is kept (and the resulting no-op candidate
+// is dropped).
 func (r *resolver) relocate(sym template.Sym, a attrsBinding) attrsBinding {
-	for _, c := range r.rule.Constraints.Items() {
-		if c.Kind != constraint.SubAttrs || c.Syms[0] != sym || c.Syms[1].Kind != template.KAttrsOf {
-			continue
-		}
-		relSym := template.Sym{Kind: template.KRel, ID: c.Syms[1].ID}
-		if !r.uniqueOnClass(relSym) {
-			continue
-		}
+	for _, relSym := range r.cr.relocTarget[sym] {
 		relPlan, err := r.rel(relSym)
 		if err != nil {
 			continue
@@ -142,8 +126,8 @@ func (r *resolver) relocate(sym template.Sym, a attrsBinding) attrsBinding {
 				}
 			}
 			if matches != 1 {
-				// Missing or ambiguous target: relocation would guess, so keep
-				// the original binding instead.
+				// Missing or ambiguous target: relocation would guess, so try
+				// the next pinned relation (or keep the original binding).
 				ok = false
 				break
 			}
@@ -159,7 +143,7 @@ func (r *resolver) pred(sym template.Sym) (sql.Expr, error) {
 	if p, ok := r.b.preds[sym]; ok {
 		return p.expr, nil
 	}
-	for _, s := range r.reps[sym] {
+	for _, s := range r.cr.reps[sym] {
 		if p, ok := r.b.preds[s]; ok {
 			return p.expr, nil
 		}
@@ -171,7 +155,7 @@ func (r *resolver) aggItems(sym template.Sym) ([]plan.AggItem, error) {
 	if f, ok := r.b.funcs[sym]; ok {
 		return f, nil
 	}
-	for _, s := range r.reps[sym] {
+	for _, s := range r.cr.reps[sym] {
 		if f, ok := r.b.funcs[s]; ok {
 			return f, nil
 		}
@@ -179,34 +163,13 @@ func (r *resolver) aggItems(sym template.Sym) ([]plan.AggItem, error) {
 	return nil, fmt.Errorf("rewrite: unbound aggregate symbol %s", sym)
 }
 
-// uniqueOnClass reports whether the rule states a Unique constraint on any
-// relation symbol in the same RelEq class as rel.
-func (r *resolver) uniqueOnClass(rel template.Sym) bool {
-	class := map[template.Sym]bool{rel: true}
-	for _, m := range r.reps[rel] {
-		class[m] = true
-	}
-	for _, c := range r.rule.Constraints.Items() {
-		if c.Kind == constraint.Unique && class[c.Syms[0]] {
-			return true
-		}
-	}
-	return false
-}
-
 // srcAttrsForPred finds the attribute symbol paired with the predicate
 // symbol in the rule's source template (for column remapping when the
-// destination reads the predicate over different columns).
+// destination reads the predicate over different columns). Pre-resolved at
+// compile time.
 func (r *resolver) srcAttrsForPred(pred template.Sym) (template.Sym, bool) {
-	found := template.Sym{}
-	ok := false
-	r.rule.Src.Walk(func(n *template.Node) {
-		if n.Op == template.OpSel && n.Pred == pred && !ok {
-			found = n.Attrs
-			ok = true
-		}
-	})
-	return found, ok
+	s, ok := r.cr.predAttrs[pred]
+	return s, ok
 }
 
 func (r *resolver) instantiate(tpl *template.Node) (plan.Node, error) {
@@ -616,12 +579,20 @@ func renameBindings(p plan.Node, rename map[string]string) plan.Node {
 }
 
 // disjoinAliases renames the right subplan's bindings away from the left's,
-// returning the rewritten right subplan and the alias mapping applied.
+// returning the rewritten right subplan and the alias mapping applied. The
+// clashing bindings are processed in sorted order so the generated aliases —
+// and therefore the rewritten SQL — are stable across runs (map iteration
+// order must not leak into output).
 func disjoinAliases(l, r plan.Node) (plan.Node, map[string]string) {
 	taken := bindingsOf(l)
+	rBindings := make([]string, 0, 4)
+	for b := range bindingsOf(r) {
+		rBindings = append(rBindings, b)
+	}
+	sort.Strings(rBindings)
 	clash := map[string]string{}
 	n := 1
-	for b := range bindingsOf(r) {
+	for _, b := range rBindings {
 		if !taken[b] {
 			continue
 		}

@@ -1,0 +1,85 @@
+package rewrite
+
+import (
+	"container/list"
+	"sync"
+
+	"wetune/internal/obs"
+)
+
+// CachedResult is one memoized end-to-end rewrite outcome, keyed by the input
+// query fingerprint (normalized SQL text at the Optimizer layer).
+type CachedResult struct {
+	SQL        string
+	Applied    []Applied
+	Stats      Stats
+	CostBefore float64
+	CostAfter  float64
+}
+
+// ResultCache is a bounded LRU cache of rewrite results. It is safe for
+// concurrent use; all methods take an internal mutex. Entries are immutable
+// once stored — callers must not mutate the Applied slice of a returned
+// result.
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res CachedResult
+}
+
+// NewResultCache builds a cache bounded to n entries (n <= 0 defaults to 256).
+func NewResultCache(n int) *ResultCache {
+	if n <= 0 {
+		n = 256
+	}
+	return &ResultCache{
+		cap:   n,
+		order: list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+// Get looks up key, promoting it to most-recently-used on a hit.
+func (c *ResultCache) Get(key string) (CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		obs.Default().Counter("rewrite_result_cache_misses").Add(1)
+		return CachedResult{}, false
+	}
+	c.order.MoveToFront(el)
+	obs.Default().Counter("rewrite_result_cache_hits").Add(1)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores key → res, evicting the least-recently-used entry on overflow.
+func (c *ResultCache) Put(key string, res CachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = el
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -11,7 +11,6 @@ import (
 
 	"wetune/internal/constraint"
 	"wetune/internal/plan"
-	"wetune/internal/rules"
 	"wetune/internal/sql"
 	"wetune/internal/template"
 )
@@ -362,14 +361,15 @@ func isIdentByte(c byte) bool {
 	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
-// checkConstraints verifies a rule's constraint set against a binding. Only
-// the rule's stated constraints are checked (the closure's congruence
-// variants re-express value-side facts across relation instances, which a
-// concrete checker must not take literally); symbols without a direct
-// binding resolve through their equivalence class for the relation-level
-// facts (Unique/NotNull/RefAttrs).
-func (m *Matcher) checkConstraints(rule rules.Rule, b *binding) bool {
-	reps := equivalenceMembers(rule.Constraints)
+// checkConstraints verifies a compiled rule's constraint set against a
+// binding. Only the rule's stated constraints are checked (the closure's
+// congruence variants re-express value-side facts across relation instances,
+// which a concrete checker must not take literally); symbols without a direct
+// binding resolve through their pre-compiled equivalence class for the
+// relation-level facts (Unique/NotNull/RefAttrs).
+func (m *Matcher) checkConstraints(cr *CompiledRule, b *binding) bool {
+	rule := cr.Rule
+	reps := cr.reps
 	relOf := func(sym template.Sym) (plan.Node, bool) {
 		if p, ok := b.rels[sym]; ok {
 			return p, true

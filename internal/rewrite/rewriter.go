@@ -1,10 +1,9 @@
 package rewrite
 
 import (
-	"sort"
+	"sync"
 
 	"wetune/internal/engine"
-	"wetune/internal/obs"
 	"wetune/internal/plan"
 	"wetune/internal/rules"
 	"wetune/internal/sql"
@@ -12,114 +11,101 @@ import (
 
 // Applied records one rewrite step.
 type Applied struct {
-	RuleNo   int
-	RuleName string
+	RuleNo   int    `json:"rule"`
+	RuleName string `json:"name"`
 }
 
-// Candidate is one possible single-step rewrite of a plan.
+// Candidate is one possible single-step rewrite of a plan: the derived plan,
+// the rule applied, and the position (root-to-node child-index path) it was
+// applied at.
 type Candidate struct {
 	Plan plan.Node
 	Rule rules.Rule
+	Path []int
 }
 
-// Rewriter drives WeTune's greedy rewriting loop (§6): at each step it
-// applies the rule producing the most simplified plan (fewest operators),
-// breaking ties with the cost estimator when a DB is attached, until no rule
-// improves the plan.
+// Rewriter drives WeTune's rewrite engine (§6): rules are compiled once into
+// an immutable shape-keyed index, and each Rewrite/Search call runs the
+// cost-guided best-first search over rewritten plans with per-call scratch
+// (bindings, memo, frontier).
+//
+// Concurrency contract: configure the Rewriter first (Rules/Schema/DB/
+// MaxSteps), then share it — Rewrite, Search, Explore and Candidates are safe
+// to call from concurrent goroutines as long as no field is mutated
+// afterwards. The compiled rule index is built once on first use (or eagerly
+// by NewRewriter) and never mutated.
 type Rewriter struct {
 	Rules    []rules.Rule
 	Schema   *sql.Schema
-	DB       *engine.DB // optional: enables cost-based tie-breaking
+	DB       *engine.DB // optional: enables cost-based ranking
 	MaxSteps int
+
+	idxOnce sync.Once
+	idx     *RuleIndex
 }
 
-// NewRewriter builds a rewriter over the given rule set.
+// NewRewriter builds a rewriter over the given rule set, compiling the rule
+// index eagerly.
 func NewRewriter(rs []rules.Rule, schema *sql.Schema) *Rewriter {
-	return &Rewriter{Rules: rs, Schema: schema, MaxSteps: 10}
+	rw := &Rewriter{Rules: rs, Schema: schema, MaxSteps: 10}
+	rw.ruleIndex()
+	return rw
 }
 
-// Candidates returns every single-step rewrite of p (any rule, any position).
-// Match attempts and successful matches are counted in the default metrics
-// registry (rewrite_rule_attempts / rewrite_rule_matches).
+// ruleIndex returns the compiled rule index, building it on first use.
+func (rw *Rewriter) ruleIndex() *RuleIndex {
+	rw.idxOnce.Do(func() { rw.idx = NewRuleIndex(rw.Rules) })
+	return rw.idx
+}
+
+// Candidates returns every single-step rewrite of p (any rule, any position),
+// in deterministic (position, rule) order. The rule index prunes rules whose
+// source template cannot match at a node; attempts and matches land in the
+// default metrics registry (rewrite_rule_attempts / rewrite_rule_matches).
 func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
-	reg := obs.Default()
-	attempts := reg.Counter("rewrite_rule_attempts")
-	matches := reg.Counter("rewrite_rule_matches")
-	m := &Matcher{Schema: rw.Schema}
-	var out []Candidate
-	for _, rule := range rw.Rules {
-		for _, path := range nodePaths(p) {
-			frag := nodeAt(p, path)
-			attempts.Inc()
-			repl, ok := m.Apply(rule, frag)
-			if !ok {
-				continue
-			}
-			matches.Inc()
-			np := replaceAt(p, path, repl)
-			if plan.Fingerprint(np) == plan.Fingerprint(p) {
-				continue // no-op application
-			}
-			// The fragment validated in isolation, but a rewrite that renames
-			// the fragment's output columns (the column-switch rules) can break
-			// references in ENCLOSING operators — re-validate the whole plan.
-			if validate(np) != nil {
-				continue
-			}
-			out = append(out, Candidate{Plan: np, Rule: rule})
-		}
-	}
+	sc := &searchCtx{rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema}}
+	out := sc.expand(p)
+	sc.flushObs()
 	return out
 }
 
-// Rewrite greedily rewrites p, returning the final plan and the applied rule
-// sequence. ORDER BY elimination (§7) runs first.
+// Rewrite rewrites p with the default search budgets, returning the final
+// plan and the applied rule sequence. It explores multiple rewrite orderings
+// (including equal-size enabler steps) and picks the min-cost plan; use
+// RewriteWithStats to observe the search effort and budget truncation.
 func (rw *Rewriter) Rewrite(p plan.Node) (plan.Node, []Applied) {
-	cur := EliminateOrderBy(p)
-	var applied []Applied
-	steps := rw.MaxSteps
-	if steps <= 0 {
-		steps = 10
-	}
-	seen := map[string]bool{plan.Fingerprint(cur): true}
-	for step := 0; step < steps; step++ {
-		best := rw.pickBest(cur, rw.Candidates(cur), seen)
-		if best == nil {
-			break
-		}
-		cur = best.Plan
-		seen[plan.Fingerprint(cur)] = true
-		applied = append(applied, Applied{RuleNo: best.Rule.No, RuleName: best.Rule.Name})
-	}
-	obs.Default().Counter("rewrite_rules_applied").Add(int64(len(applied)))
-	return cur, applied
+	out, applied, _ := rw.Search(p, Options{MaxSteps: rw.MaxSteps})
+	return out, applied
 }
 
-// pickBest selects the candidate that most simplifies the plan: smallest
-// operator count, then lowest estimated cost. Candidates that neither shrink
-// the plan nor reduce cost are rejected (termination), as are already-seen
-// plans (cycle avoidance for enabler rules like join commutation).
-func (rw *Rewriter) pickBest(cur plan.Node, cands []Candidate, seen map[string]bool) *Candidate {
-	curSize := plan.Size(cur)
-	curCost := rw.cost(cur)
-	var best *Candidate
-	bestSize := curSize
-	bestCost := curCost
-	for i := range cands {
-		c := &cands[i]
-		if seen[plan.Fingerprint(c.Plan)] {
-			continue
-		}
-		size := plan.Size(c.Plan)
-		cost := rw.cost(c.Plan)
-		improves := size < bestSize || (size == bestSize && cost < bestCost)
-		if improves {
-			best = c
-			bestSize = size
-			bestCost = cost
-		}
+// RewriteWithStats is Rewrite exposing the search Stats.
+func (rw *Rewriter) RewriteWithStats(p plan.Node) (plan.Node, []Applied, Stats) {
+	return rw.Search(p, Options{MaxSteps: rw.MaxSteps})
+}
+
+// Explore implements the paper's §8.4 flow on the indexed search engine:
+// iteratively generate rewritten queries (including equal-size "enabler"
+// steps like predicate pull-up and column switches), then pick the best final
+// query by the cost estimator. beam bounds the frontier and depth the chain
+// length.
+func (rw *Rewriter) Explore(p plan.Node, beam, depth int) (plan.Node, []Applied) {
+	out, applied, _ := rw.ExploreWithStats(p, beam, depth)
+	return out, applied
+}
+
+// ExploreWithStats is Explore exposing the search Stats.
+func (rw *Rewriter) ExploreWithStats(p plan.Node, beam, depth int) (plan.Node, []Applied, Stats) {
+	if beam <= 0 {
+		beam = 8
 	}
-	return best
+	if depth <= 0 {
+		depth = 5
+	}
+	return rw.Search(p, Options{
+		MaxSteps:    depth,
+		MaxFrontier: beam,
+		MaxNodes:    beam * depth * 4,
+	})
 }
 
 func (rw *Rewriter) cost(p plan.Node) float64 {
@@ -260,74 +246,4 @@ func stripSubqueryOrderBy(e sql.Expr) sql.Expr {
 		return true
 	})
 	return e
-}
-
-// Explore implements the paper's §8.4 flow: iteratively generate rewritten
-// queries (including equal-size "enabler" steps like predicate pull-up and
-// column switches), then pick the best final query by the cost estimator.
-// beam bounds the frontier per level and depth the chain length.
-func (rw *Rewriter) Explore(p plan.Node, beam, depth int) (plan.Node, []Applied) {
-	if beam <= 0 {
-		beam = 8
-	}
-	if depth <= 0 {
-		depth = 5
-	}
-	start := EliminateOrderBy(p)
-	frontier := []exploreState{{plan: start}}
-	seen := map[string]bool{plan.Fingerprint(start): true}
-	best := exploreState{plan: start}
-	bestKey := rw.rank(start)
-	for level := 0; level < depth && len(frontier) > 0; level++ {
-		var next []exploreState
-		for _, st := range frontier {
-			for _, cand := range rw.Candidates(st.plan) {
-				fp := plan.Fingerprint(cand.Plan)
-				if seen[fp] {
-					continue
-				}
-				seen[fp] = true
-				path := append(append([]Applied{}, st.path...),
-					Applied{RuleNo: cand.Rule.No, RuleName: cand.Rule.Name})
-				ns := exploreState{plan: cand.Plan, path: path}
-				next = append(next, ns)
-				if k := rw.rank(cand.Plan); k.less(bestKey) {
-					best = ns
-					bestKey = k
-				}
-			}
-		}
-		// Beam: keep the most promising states.
-		sort.SliceStable(next, func(i, j int) bool {
-			return rw.rank(next[i].plan).less(rw.rank(next[j].plan))
-		})
-		if len(next) > beam {
-			next = next[:beam]
-		}
-		frontier = next
-	}
-	obs.Default().Counter("rewrite_rules_applied").Add(int64(len(best.path)))
-	return best.plan, best.path
-}
-
-type exploreState struct {
-	plan plan.Node
-	path []Applied
-}
-
-// rankKey orders plans by operator count then estimated cost.
-type rankKey struct {
-	size int
-	cost float64
-}
-
-func (a rankKey) less(b rankKey) bool {
-	if a.size != b.size {
-		return a.size < b.size
-	}
-	return a.cost < b.cost
-}
-
-func (rw *Rewriter) rank(p plan.Node) rankKey {
-	return rankKey{size: plan.Size(p), cost: rw.cost(p)}
 }

@@ -1,0 +1,282 @@
+package rewrite
+
+import (
+	"sort"
+
+	"wetune/internal/obs"
+	"wetune/internal/plan"
+)
+
+// Options bounds one rewrite search. Zero values select the defaults.
+type Options struct {
+	// MaxSteps bounds the rule-application chain length (default 10).
+	MaxSteps int
+	// MaxFrontier bounds the number of pending states kept between
+	// expansions; the worst states are dropped beyond it (default 64).
+	MaxFrontier int
+	// MaxNodes bounds the total number of states expanded (default 512).
+	MaxNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 10
+	}
+	if o.MaxFrontier <= 0 {
+		o.MaxFrontier = 64
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 512
+	}
+	return o
+}
+
+// Stats reports one search's effort and outcome. Budget exhaustion is never
+// silent: Truncated is set whenever any budget (steps, frontier, nodes) cut
+// the search before the space was exhausted, and TruncatedBy names the first
+// budget hit.
+type Stats struct {
+	// NodesExplored counts the plan states expanded (candidates generated).
+	NodesExplored int `json:"nodes_explored"`
+	// CandidatesSeen counts the candidate rewrites produced across all
+	// expansions (before memo dedup).
+	CandidatesSeen int `json:"candidates"`
+	// MemoHits counts derived plans already in the fingerprint-keyed visited
+	// memo — re-derivations that cost nothing instead of a re-expansion.
+	MemoHits int `json:"memo_hits"`
+	// RuleAttempts counts full matcher invocations (post index, post shape
+	// precheck); RuleMatches counts the ones that bound and validated.
+	RuleAttempts int64 `json:"rule_attempts"`
+	RuleMatches  int64 `json:"rule_matches"`
+	// IndexPruned counts (rule, position) attempts skipped because the rule
+	// index ruled the rule out by root operator kind; ShapePruned counts
+	// attempts skipped by the deeper ops-only shape precheck.
+	IndexPruned int64 `json:"index_pruned"`
+	ShapePruned int64 `json:"shape_pruned"`
+	// Initial/Final report the plan the search started from (after ORDER BY
+	// elimination) and the plan it settled on.
+	InitialSize int     `json:"initial_size"`
+	FinalSize   int     `json:"final_size"`
+	InitialCost float64 `json:"initial_cost"`
+	FinalCost   float64 `json:"final_cost"`
+	// Steps is the applied rule-chain length of the returned plan.
+	Steps int `json:"steps"`
+	// Truncated reports that a budget cut the search; TruncatedBy is the
+	// first budget hit: "steps", "frontier" or "nodes".
+	Truncated   bool   `json:"truncated"`
+	TruncatedBy string `json:"truncated_by,omitempty"`
+}
+
+// state is one node of the search graph: a derived plan plus the rule chain
+// that produced it.
+type state struct {
+	plan  plan.Node
+	path  []Applied
+	size  int
+	cost  float64
+	depth int
+	seq   int // insertion sequence: deterministic FIFO among rank ties
+}
+
+// rankLess orders frontier states: smaller plans first, then cheaper, then
+// first-discovered (seq). The search pops the minimum.
+func rankLess(a, b *state) bool {
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.seq < b.seq
+}
+
+// searchCtx is the per-call scratch of one Search: matcher, stats, memo and
+// frontier all live here, never on the shared Rewriter, so one Rewriter can
+// serve concurrent searches.
+type searchCtx struct {
+	rw    *Rewriter
+	idx   *RuleIndex
+	m     *Matcher
+	stats Stats
+}
+
+// expand generates every single-step rewrite of st's plan, in deterministic
+// (position, rule) order, consulting the rule index at each position.
+func (sc *searchCtx) expand(p plan.Node) []Candidate {
+	fpP := plan.Fingerprint(p)
+	var out []Candidate
+	for _, path := range nodePaths(p) {
+		frag := nodeAt(p, path)
+		kind := frag.Kind()
+		kindGroups, anyGroups := sc.idx.groupsFor(kind)
+		sc.stats.IndexPruned += int64(sc.idx.Total() - sc.idx.BucketSize(kind))
+		for _, groups := range [2][]*shapeGroup{kindGroups, anyGroups} {
+			for _, g := range groups {
+				if !shapeMatches(g.shape, frag) {
+					sc.stats.ShapePruned += int64(len(g.rules))
+					continue
+				}
+				for _, cr := range g.rules {
+					sc.stats.RuleAttempts++
+					repl, ok := sc.m.ApplyCompiled(cr, frag)
+					if !ok {
+						continue
+					}
+					sc.stats.RuleMatches++
+					np := replaceAt(p, path, repl)
+					if plan.Fingerprint(np) == fpP {
+						continue // no-op application
+					}
+					// The fragment validated in isolation, but a rewrite that
+					// renames the fragment's output columns can break
+					// references in ENCLOSING operators — re-validate whole.
+					if validate(np) != nil {
+						continue
+					}
+					out = append(out, Candidate{
+						Plan: np,
+						Rule: cr.Rule,
+						Path: append([]int{}, path...),
+					})
+				}
+			}
+		}
+	}
+	sc.stats.CandidatesSeen += len(out)
+	return out
+}
+
+// pathLess compares candidate positions lexicographically.
+func pathLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Search runs the cost-guided rewrite search: a best-first frontier over
+// derived plans ranked by (operator count, estimated cost), a fingerprint-
+// keyed visited memo so no derived plan is expanded twice, and explicit
+// step/frontier/node budgets. Equal-rank candidates are ordered by (rule
+// number, position), making the result deterministic and independent of the
+// rule-set ordering. ORDER BY elimination (§7) runs first, as in the greedy
+// engine. The returned Stats also land in the default metrics registry.
+func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Stats) {
+	opts = opts.withDefaults()
+	sc := &searchCtx{rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema}}
+
+	start := EliminateOrderBy(p)
+	first := &state{plan: start, size: plan.Size(start), cost: rw.cost(start)}
+	sc.stats.InitialSize = first.size
+	sc.stats.InitialCost = first.cost
+
+	seen := map[string]bool{plan.Fingerprint(start): true}
+	frontier := []*state{first}
+	best := first
+	seq := 1
+
+	truncate := func(by string) {
+		if !sc.stats.Truncated {
+			sc.stats.Truncated = true
+			sc.stats.TruncatedBy = by
+		}
+	}
+
+	for len(frontier) > 0 {
+		if sc.stats.NodesExplored >= opts.MaxNodes {
+			truncate("nodes")
+			break
+		}
+		st := frontier[0]
+		frontier = frontier[1:]
+		if st.depth >= opts.MaxSteps {
+			// Conservative: the state might have had no candidates, but the
+			// step budget stopped us from finding out.
+			truncate("steps")
+			continue
+		}
+		sc.stats.NodesExplored++
+
+		cands := sc.expand(st.plan)
+		// Deterministic tie-break: candidates of equal (size, cost) enter the
+		// frontier — and thus become the incumbent best — in (rule number,
+		// position) order, regardless of rule-set ordering.
+		type ranked struct {
+			c    Candidate
+			size int
+			cost float64
+		}
+		rs := make([]ranked, len(cands))
+		for i, c := range cands {
+			rs[i] = ranked{c: c, size: plan.Size(c.Plan), cost: rw.cost(c.Plan)}
+		}
+		sort.SliceStable(rs, func(i, j int) bool {
+			a, b := rs[i], rs[j]
+			if a.size != b.size {
+				return a.size < b.size
+			}
+			if a.cost != b.cost {
+				return a.cost < b.cost
+			}
+			if a.c.Rule.No != b.c.Rule.No {
+				return a.c.Rule.No < b.c.Rule.No
+			}
+			return pathLess(a.c.Path, b.c.Path)
+		})
+		for _, r := range rs {
+			fp := plan.Fingerprint(r.c.Plan)
+			if seen[fp] {
+				sc.stats.MemoHits++
+				continue
+			}
+			seen[fp] = true
+			ns := &state{
+				plan: r.c.Plan,
+				path: append(append([]Applied{}, st.path...),
+					Applied{RuleNo: r.c.Rule.No, RuleName: r.c.Rule.Name}),
+				size:  r.size,
+				cost:  r.cost,
+				depth: st.depth + 1,
+				seq:   seq,
+			}
+			seq++
+			if ns.size < best.size || (ns.size == best.size && ns.cost < best.cost) {
+				best = ns
+			}
+			// Sorted insert keeps the frontier pop-min and deterministic.
+			i := sort.Search(len(frontier), func(i int) bool {
+				return rankLess(ns, frontier[i])
+			})
+			frontier = append(frontier, nil)
+			copy(frontier[i+1:], frontier[i:])
+			frontier[i] = ns
+		}
+		if len(frontier) > opts.MaxFrontier {
+			frontier = frontier[:opts.MaxFrontier]
+			truncate("frontier")
+		}
+	}
+
+	sc.stats.FinalSize = best.size
+	sc.stats.FinalCost = best.cost
+	sc.stats.Steps = len(best.path)
+	sc.flushObs()
+	return best.plan, best.path, sc.stats
+}
+
+// flushObs threads the search stats into the default metrics registry.
+func (sc *searchCtx) flushObs() {
+	reg := obs.Default()
+	reg.Counter("rewrite_rule_attempts").Add(sc.stats.RuleAttempts)
+	reg.Counter("rewrite_rule_matches").Add(sc.stats.RuleMatches)
+	reg.Counter("rewrite_index_pruned").Add(sc.stats.IndexPruned)
+	reg.Counter("rewrite_shape_pruned").Add(sc.stats.ShapePruned)
+	reg.Counter("rewrite_search_nodes").Add(int64(sc.stats.NodesExplored))
+	reg.Counter("rewrite_memo_hits").Add(int64(sc.stats.MemoHits))
+	reg.Counter("rewrite_rules_applied").Add(int64(sc.stats.Steps))
+	if sc.stats.Truncated {
+		reg.Counter("rewrite_truncated").Inc()
+	}
+}

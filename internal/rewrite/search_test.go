@@ -1,0 +1,171 @@
+package rewrite
+
+import (
+	"testing"
+
+	"wetune/internal/plan"
+	"wetune/internal/rules"
+)
+
+const q0 = `SELECT * FROM labels WHERE id IN (SELECT id FROM labels WHERE id IN (SELECT id FROM labels WHERE project_id = 10) ORDER BY title ASC)`
+
+// TestSearchDeterministicAcrossRuleOrder pins the candidate tie-break: when
+// candidates tie on operator count and cost, the (rule number, position) order
+// decides — so reversing the rule-set ordering must not change the result.
+// This is a regression test for the pre-index engine, whose winner among tied
+// candidates was whichever rule happened to be enumerated first.
+func TestSearchDeterministicAcrossRuleOrder(t *testing.T) {
+	schema := gitlabSchema()
+	rs := rules.All()
+	reversed := make([]rules.Rule, len(rs))
+	for i, r := range rs {
+		reversed[len(rs)-1-i] = r
+	}
+	fwd := NewRewriter(rs, schema)
+	rev := NewRewriter(reversed, schema)
+	queries := []string{
+		q0,
+		`SELECT id FROM notes WHERE type = 'D' AND id IN (SELECT id FROM notes WHERE commit_id = 7)`,
+		`SELECT issues.title FROM issues INNER JOIN projects ON issues.project_id = projects.id`,
+		`SELECT DISTINCT id FROM labels WHERE project_id = 3`,
+	}
+	for _, q := range queries {
+		p := mustPlan(t, q, schema)
+		fOut, fApplied := fwd.Rewrite(p)
+		rOut, rApplied := rev.Rewrite(p)
+		if plan.Fingerprint(fOut) != plan.Fingerprint(rOut) {
+			t.Fatalf("%q: result depends on rule-set order:\n  fwd: %s\n  rev: %s",
+				q, plan.ToSQLString(fOut), plan.ToSQLString(rOut))
+		}
+		if len(fApplied) != len(rApplied) {
+			t.Fatalf("%q: applied chains differ in length: %v vs %v", q, fApplied, rApplied)
+		}
+		for i := range fApplied {
+			if fApplied[i].RuleNo != rApplied[i].RuleNo {
+				t.Fatalf("%q: applied chains differ: %v vs %v", q, fApplied, rApplied)
+			}
+		}
+	}
+}
+
+// TestSearchRepeatedRunsIdentical verifies end-to-end determinism: repeated
+// searches over the same input yield byte-identical SQL and rule chains.
+func TestSearchRepeatedRunsIdentical(t *testing.T) {
+	rw := newRW(t)
+	p := mustPlan(t, q0, gitlabSchema())
+	out0, applied0, stats0 := rw.RewriteWithStats(p)
+	sql0 := plan.ToSQLString(out0)
+	for i := 0; i < 10; i++ {
+		out, applied, stats := rw.RewriteWithStats(p)
+		if s := plan.ToSQLString(out); s != sql0 {
+			t.Fatalf("run %d: SQL differs:\n  %s\n  %s", i, sql0, s)
+		}
+		if len(applied) != len(applied0) {
+			t.Fatalf("run %d: applied chain differs: %v vs %v", i, applied0, applied)
+		}
+		if stats != stats0 {
+			t.Fatalf("run %d: stats differ: %+v vs %+v", i, stats0, stats)
+		}
+	}
+}
+
+// TestSearchTruncatedBySteps: a one-step budget on a query needing a chain
+// must be reported, not silently absorbed.
+func TestSearchTruncatedBySteps(t *testing.T) {
+	rw := newRW(t)
+	p := mustPlan(t, q0, gitlabSchema())
+	_, fullApplied, fullStats := rw.RewriteWithStats(p)
+	if len(fullApplied) < 2 {
+		t.Fatalf("q0 needs a multi-step chain for this test, got %v", fullApplied)
+	}
+	if fullStats.Truncated {
+		t.Fatalf("default budgets should not truncate q0: %+v", fullStats)
+	}
+	_, _, stats := rw.Search(p, Options{MaxSteps: 1})
+	if !stats.Truncated {
+		t.Fatalf("MaxSteps=1 search not reported truncated: %+v", stats)
+	}
+	if stats.TruncatedBy != "steps" {
+		t.Fatalf("TruncatedBy = %q, want steps", stats.TruncatedBy)
+	}
+	if stats.Steps > 1 {
+		t.Fatalf("applied %d steps under MaxSteps=1", stats.Steps)
+	}
+}
+
+// TestSearchTruncatedByNodes: exhausting the node budget with work pending is
+// reported too.
+func TestSearchTruncatedByNodes(t *testing.T) {
+	rw := newRW(t)
+	p := mustPlan(t, q0, gitlabSchema())
+	_, _, stats := rw.Search(p, Options{MaxNodes: 1})
+	if !stats.Truncated || stats.TruncatedBy != "nodes" {
+		t.Fatalf("MaxNodes=1 search not reported truncated by nodes: %+v", stats)
+	}
+}
+
+// TestSearchStatsPopulated checks the effort counters actually count.
+func TestSearchStatsPopulated(t *testing.T) {
+	rw := newRW(t)
+	p := mustPlan(t, q0, gitlabSchema())
+	out, applied, stats := rw.RewriteWithStats(p)
+	if len(applied) == 0 {
+		t.Fatal("q0 should be rewritten")
+	}
+	if stats.NodesExplored == 0 || stats.CandidatesSeen == 0 || stats.RuleAttempts == 0 {
+		t.Fatalf("effort counters empty: %+v", stats)
+	}
+	if stats.IndexPruned == 0 {
+		t.Fatalf("index pruned nothing over q0: %+v", stats)
+	}
+	if stats.InitialSize == 0 || stats.FinalSize == 0 {
+		t.Fatalf("sizes not recorded: %+v", stats)
+	}
+	if stats.FinalSize != plan.Size(out) {
+		t.Fatalf("FinalSize %d != returned plan size %d", stats.FinalSize, plan.Size(out))
+	}
+	if stats.Steps != len(applied) {
+		t.Fatalf("Steps %d != len(applied) %d", stats.Steps, len(applied))
+	}
+}
+
+// TestSearchNoWorseThanGreedy: on the canonical regression queries the search
+// engine must reach a plan at least as small as the greedy loop's.
+func TestSearchNoWorseThanGreedy(t *testing.T) {
+	rw := newRW(t)
+	schema := gitlabSchema()
+	queries := []string{
+		q0,
+		`SELECT id FROM notes WHERE type = 'D' AND id IN (SELECT id FROM notes WHERE commit_id = 7)`,
+		`SELECT issues.title FROM issues INNER JOIN projects ON issues.project_id = projects.id`,
+	}
+	for _, q := range queries {
+		p := mustPlan(t, q, schema)
+		gOut, _ := rw.GreedyRewrite(p)
+		sOut, _ := rw.Rewrite(p)
+		if plan.Size(sOut) > plan.Size(gOut) {
+			t.Fatalf("%q: search (%d ops) worse than greedy (%d ops):\n  search: %s\n  greedy: %s",
+				q, plan.Size(sOut), plan.Size(gOut), plan.ToSQLString(sOut), plan.ToSQLString(gOut))
+		}
+	}
+}
+
+func TestPathLess(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, []int{0}, true},
+		{[]int{0}, nil, false},
+		{[]int{0}, []int{1}, true},
+		{[]int{0, 1}, []int{0, 2}, true},
+		{[]int{0, 1}, []int{0, 1}, false},
+		{[]int{0, 1}, []int{0, 1, 0}, true},
+		{[]int{1}, []int{0, 5}, false},
+	}
+	for _, c := range cases {
+		if got := pathLess(c.a, c.b); got != c.want {
+			t.Fatalf("pathLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -100,8 +100,16 @@ func BuiltinRules() []Rule { return rules.All() }
 func Table7Rules() []Rule { return rules.Table7() }
 
 // Optimizer rewrites queries with a rule set over a schema.
+//
+// Concurrency contract: configure the Optimizer fully (NewOptimizer, UseDB,
+// EnableResultCache) before sharing it; afterwards Optimize, OptimizeSQL,
+// OptimizeSQLResult and PlanSQL are safe to call from concurrent goroutines.
+// The compiled rule set and its shape index are immutable shared state; all
+// per-call scratch (bindings, memo, frontier) lives in per-call contexts, and
+// the optional result cache is internally synchronized.
 type Optimizer struct {
-	rw *rewrite.Rewriter
+	rw    *rewrite.Rewriter
+	cache *rewrite.ResultCache
 }
 
 // NewOptimizer builds an optimizer. Attach a database with UseDB to enable
@@ -110,11 +118,37 @@ func NewOptimizer(rs []Rule, schema *Schema) *Optimizer {
 	return &Optimizer{rw: rewrite.NewRewriter(rs, schema)}
 }
 
-// UseDB wires the cost estimator of db into rewrite ranking.
+// UseDB wires the cost estimator of db into rewrite ranking. Call before
+// sharing the Optimizer across goroutines.
 func (o *Optimizer) UseDB(db *DB) { o.rw.DB = db }
+
+// EnableResultCache turns on the query-fingerprint → rewrite-result LRU
+// (n entries; n <= 0 picks a default). Repeated OptimizeSQL calls for the same
+// query text then skip planning and search entirely. Call before sharing the
+// Optimizer across goroutines.
+func (o *Optimizer) EnableResultCache(n int) {
+	o.cache = rewrite.NewResultCache(n)
+}
 
 // Applied describes one rewrite step.
 type Applied = rewrite.Applied
+
+// RewriteStats reports search effort for one rewrite: nodes explored, memo
+// hits, index-pruned rule attempts, and whether a budget truncated the search.
+type RewriteStats = rewrite.Stats
+
+// RewriteResult is the machine-readable outcome of OptimizeSQLResult.
+type RewriteResult struct {
+	Input      string       `json:"input"`
+	Output     string       `json:"output"`
+	Applied    []Applied    `json:"applied"`
+	CostBefore float64      `json:"cost_before"`
+	CostAfter  float64      `json:"cost_after"`
+	Stats      RewriteStats `json:"stats"`
+	// Cached reports that the result came from the Optimizer's result cache;
+	// Stats then describes the original (cached) search, not new work.
+	Cached bool `json:"cached,omitempty"`
+}
 
 // Optimize rewrites a logical plan, returning the improved plan and the rule
 // sequence applied (empty when no rule helps). It explores rewrite chains
@@ -125,12 +159,54 @@ func (o *Optimizer) Optimize(p Plan) (Plan, []Applied) {
 
 // OptimizeSQL parses, plans, optimizes and renders back to SQL.
 func (o *Optimizer) OptimizeSQL(query string) (rewritten string, applied []Applied, err error) {
-	p, err := plan.BuildSQL(query, o.rw.Schema)
+	res, err := o.OptimizeSQLResult(query)
 	if err != nil {
 		return "", nil, err
 	}
-	out, applied := o.Optimize(p)
-	return plan.ToSQLString(out), applied, nil
+	return res.Output, res.Applied, nil
+}
+
+// OptimizeSQLResult parses, plans, optimizes and renders back to SQL,
+// returning the full machine-readable result: input/output SQL, applied rule
+// chain, cost before and after, and search stats. When the result cache is
+// enabled (EnableResultCache) results are keyed by the query text.
+func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
+	if o.cache != nil {
+		if hit, ok := o.cache.Get(query); ok {
+			return &RewriteResult{
+				Input:      query,
+				Output:     hit.SQL,
+				Applied:    hit.Applied,
+				CostBefore: hit.CostBefore,
+				CostAfter:  hit.CostAfter,
+				Stats:      hit.Stats,
+				Cached:     true,
+			}, nil
+		}
+	}
+	p, err := plan.BuildSQL(query, o.rw.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out, applied, stats := o.rw.ExploreWithStats(p, 12, 6)
+	res := &RewriteResult{
+		Input:      query,
+		Output:     plan.ToSQLString(out),
+		Applied:    applied,
+		CostBefore: stats.InitialCost,
+		CostAfter:  stats.FinalCost,
+		Stats:      stats,
+	}
+	if o.cache != nil {
+		o.cache.Put(query, rewrite.CachedResult{
+			SQL:        res.Output,
+			Applied:    res.Applied,
+			Stats:      res.Stats,
+			CostBefore: res.CostBefore,
+			CostAfter:  res.CostAfter,
+		})
+	}
+	return res, nil
 }
 
 // PlanSQL parses and lowers a query against the optimizer's schema.
