@@ -19,10 +19,21 @@
 //	                                            replayable counterexample to -repro
 //	wetune fuzz -replay FILE                    re-execute a saved repro and report whether the
 //	                                            mismatch still reproduces
-//	wetune rewrite -q "SELECT ..." [-json]      rewrite one query over the demo schema;
+//	wetune rewrite -q "SELECT ..." [-json] [-n N]
+//	                                            rewrite one query over the demo schema;
 //	                                            -json emits input/output SQL, the applied
-//	                                            rule chain, cost before/after and search
-//	                                            stats as JSON
+//	                                            rule chain, cost before/after, search stats
+//	                                            and result-cache traffic as JSON; -n repeats
+//	                                            the rewrite to exercise the result cache
+//	wetune explain -q "SELECT ..." [-json]      rewrite one query and render the full
+//	                                            derivation: chosen step chain with per-step
+//	                                            paths and cost deltas, the explored search
+//	                                            tree, and the per-rule why-not funnel; the
+//	                                            applied chain and costs match wetune rewrite
+//	wetune report rules [-json] [-per-app N]    run the fixed rewrite workload and report
+//	                                            per-rule effectiveness: fire/win/no-op
+//	                                            counts, cost-delta histograms, and the
+//	                                            dead-rule list
 //	wetune bench [experiment]                   regenerate evaluation artifacts
 //	                                            (table1 study50 discovery table7 apps
 //	                                             calcite latency casestudy verifiers
@@ -38,6 +49,13 @@
 //	                                            memo hits); -engine greedy measures the
 //	                                            retained pre-index loop; -json appends the
 //	                                            entry to -out (default BENCH_rewrite.json)
+//
+// Every long-running subcommand (discover, fuzz, rewrite, explain, report,
+// bench discover, bench rewrite) also accepts the shared observability flags:
+// -metrics FILE dumps the metrics registry as JSON on exit, -debug-addr ADDR
+// serves expvar + pprof live, and -journal FILE dumps the always-on flight
+// recorder (the last ~32k engine events) as JSONL on exit, SIGINT, or
+// recorded anomaly.
 package main
 
 import (
@@ -46,7 +64,6 @@ import (
 	_ "expvar" // registers /debug/vars on the default mux for -debug-addr
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux for -debug-addr
 	"os"
 	"os/signal"
@@ -54,9 +71,9 @@ import (
 	"time"
 
 	"wetune"
+	"wetune/internal/analytics"
 	"wetune/internal/bench"
 	"wetune/internal/difftest"
-	"wetune/internal/obs"
 	"wetune/internal/pipeline"
 	"wetune/internal/rules"
 	"wetune/internal/spes"
@@ -79,6 +96,10 @@ func main() {
 		cmdFuzz(os.Args[2:])
 	case "rewrite":
 		cmdRewrite(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
 	default:
@@ -88,7 +109,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|explain|report|bench> [flags]")
 }
 
 func cmdDiscover(args []string) {
@@ -99,8 +120,7 @@ func cmdDiscover(args []string) {
 	cacheFile := fs.String("cache", "", "proof-cache file: verdicts load before and persist after, so repeated runs re-prove nothing")
 	progress := fs.Bool("progress", false, "print per-stage progress while searching")
 	prover := fs.String("prover", "full", "candidate prover: full (algebraic + SMT fallback) or algebraic (fast path only)")
-	metricsFile := fs.String("metrics", "", "write the metrics registry (stage/proof histograms, SMT outcome and cache counters) as JSON to FILE on exit")
-	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on ADDR, e.g. :6060, while the run is live")
+	of := addObsFlags(fs)
 	traceSlow := fs.Duration("trace-slow", 0, "log the span tree (pair → prove → verify → smt.solve) of every pair slower than this threshold, e.g. 500ms (0 = off)")
 	crossCheck := fs.Bool("crosscheck", false, "differentially test every verifier-accepted rule against the in-memory engine and drop rules the oracle refutes")
 	fs.Parse(args)
@@ -132,17 +152,7 @@ func cmdDiscover(args []string) {
 		}
 	}
 
-	if *debugAddr != "" {
-		obs.PublishExpvar("wetune", obs.Default())
-		srv := &http.Server{Addr: *debugAddr} // default mux: expvar + pprof via imports
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "debug server:", err)
-			}
-		}()
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoint on %s (/debug/vars, /debug/pprof/)\n", *debugAddr)
-	}
+	finish := of.start()
 
 	// Ctrl-C cancels the run; the rules found so far are still printed and
 	// the proof cache is persisted immediately (a second Ctrl-C, after stop()
@@ -201,13 +211,7 @@ func cmdDiscover(args []string) {
 		fmt.Printf("%4d  %s\n      => %s\n      under %s\n", i+1, r.Source, r.Destination, r.Constraints)
 	}
 	saveCache("exit")
-	if *metricsFile != "" {
-		if err := obs.Default().DumpFile(*metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics dump:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsFile)
-	}
+	finish()
 }
 
 func cmdRules() {
@@ -237,23 +241,32 @@ func cmdFuzz(args []string) {
 	reproFile := fs.String("repro", "", "write the first mismatch's shrunken counterexample as JSON to FILE")
 	replayFile := fs.String("replay", "", "re-execute a saved repro instead of fuzzing; exits 1 if the mismatch still reproduces")
 	all := fs.Bool("all", false, "keep fuzzing after the first mismatch and report every one")
+	of := addObsFlags(fs)
 	fs.Parse(args)
+	finish := of.start()
+	defer finish()
+	// os.Exit skips defers, so the failure exits below flush explicitly —
+	// the mismatch run is exactly when the journal and metrics matter.
+	fail := func() {
+		finish()
+		os.Exit(1)
+	}
 
 	if *replayFile != "" {
 		rp, err := difftest.LoadRepro(*replayFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz: load repro:", err)
-			os.Exit(1)
+			fail()
 		}
 		fmt.Println(rp.Summary())
 		mismatch, err := rp.Replay()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz: replay:", err)
-			os.Exit(1)
+			fail()
 		}
 		if mismatch {
 			fmt.Println("replay: mismatch REPRODUCES")
-			os.Exit(1)
+			fail()
 		}
 		fmt.Println("replay: plans now agree (mismatch no longer reproduces)")
 		return
@@ -271,7 +284,7 @@ func cmdFuzz(args []string) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
-		os.Exit(1)
+		fail()
 	}
 	fmt.Printf("fuzz: seed=%d iterations=%d candidates=%d mismatches=%d elapsed=%v\n",
 		*seed, rep.Iterations, rep.Candidates, len(rep.Mismatches), rep.Elapsed.Round(time.Millisecond))
@@ -290,32 +303,51 @@ func cmdFuzz(args []string) {
 				*reproFile, *reproFile)
 		}
 	}
-	os.Exit(1)
+	fail()
+}
+
+// rewriteOutput is cmdRewrite's -json envelope: the rewrite result plus the
+// optimizer's result-cache traffic for the invocation.
+type rewriteOutput struct {
+	*wetune.RewriteResult
+	ResultCache *wetune.CacheStats `json:"result_cache,omitempty"`
 }
 
 func cmdRewrite(args []string) {
 	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
 	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
-	asJSON := fs.Bool("json", false, "emit the machine-readable result (input/output SQL, applied rule chain, cost before/after, search stats) as JSON")
+	asJSON := fs.Bool("json", false, "emit the machine-readable result (input/output SQL, applied rule chain, cost before/after, search stats, cache traffic) as JSON")
+	repeat := fs.Int("n", 1, "rewrite the query N times (exercises the result cache; N-1 hits expected)")
+	of := addObsFlags(fs)
 	fs.Parse(args)
+	finish := of.start()
 	if *query == "" {
 		fmt.Fprintln(os.Stderr, "rewrite: -q is required")
 		os.Exit(2)
 	}
 	schema := demoSchema()
 	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
-	res, err := opt.OptimizeSQLResult(*query)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	if *asJSON {
-		data, err := json.MarshalIndent(res, "", "  ")
+	opt.EnableResultCache(0)
+	var res *wetune.RewriteResult
+	var err error
+	for i := 0; i < *repeat || i == 0; i++ {
+		res, err = opt.OptimizeSQLResult(*query)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
+			finish()
+			os.Exit(1)
+		}
+	}
+	cache, _ := opt.ResultCacheStats()
+	if *asJSON {
+		data, err := json.MarshalIndent(rewriteOutput{res, &cache}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			finish()
 			os.Exit(1)
 		}
 		fmt.Println(string(data))
+		finish()
 		return
 	}
 	fmt.Println("original: ", res.Input)
@@ -329,6 +361,91 @@ func cmdRewrite(args []string) {
 	if res.Stats.Truncated {
 		fmt.Printf("(search truncated by %s budget; a larger budget may find more rewrites)\n", res.Stats.TruncatedBy)
 	}
+	fmt.Printf("result cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
+		cache.Hits, cache.Misses, 100*cache.HitRate, cache.Entries)
+	finish()
+}
+
+// cmdExplain rewrites one query like cmdRewrite but records and renders the
+// full derivation: the chosen step chain with per-step node paths and cost
+// deltas, the explored search tree, and the per-rule why-not funnel. The
+// embedded result is computed with the same budgets as `wetune rewrite`, so
+// the applied chain and costs are identical.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
+	asJSON := fs.Bool("json", false, "emit the machine-readable result (rewrite result + full provenance record) as JSON")
+	of := addObsFlags(fs)
+	fs.Parse(args)
+	finish := of.start()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "explain: -q is required")
+		os.Exit(2)
+	}
+	opt := wetune.NewOptimizer(wetune.BuiltinRules(), demoSchema())
+	res, err := opt.ExplainSQL(*query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		finish()
+		os.Exit(1)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			finish()
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		finish()
+		return
+	}
+	fmt.Println("original: ", res.Input)
+	fmt.Println("rewritten:", res.Output)
+	fmt.Printf("cost:      %.1f -> %.1f\n", res.CostBefore, res.CostAfter)
+	prov := res.Provenance
+	if len(prov.Steps) == 0 {
+		fmt.Println("(no rule applied)")
+	} else {
+		fmt.Println("\nderivation:")
+		fmt.Print(prov.RenderSteps())
+	}
+	fmt.Println("\nsearch tree:")
+	fmt.Print(prov.RenderTree())
+	fmt.Println("\nwhy-not (per-rule funnel):")
+	fmt.Print(prov.RenderWhyNot())
+	if res.Stats.Truncated {
+		fmt.Printf("\n(search truncated by %s budget; a larger budget may find more rewrites)\n", res.Stats.TruncatedBy)
+	}
+	finish()
+}
+
+// cmdReport renders workload-level analytics; "rules" is the only report so
+// far: per-rule effectiveness over the fixed rewrite corpus.
+func cmdReport(args []string) {
+	if len(args) < 1 || args[0] != "rules" {
+		fmt.Fprintln(os.Stderr, "usage: wetune report rules [-json] [-per-app N] [-metrics FILE] [-journal FILE]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("report rules", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the full report (per-rule funnels, cost-delta histograms, dead list, journal/registry views) as JSON")
+	perApp := fs.Int("per-app", 100, "queries per application archetype (the bench workload uses 100)")
+	of := addObsFlags(fs)
+	fs.Parse(args[1:])
+	finish := of.start()
+	rep := analytics.Rules(*perApp)
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			finish()
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep.Render())
+	}
+	finish()
 }
 
 func demoSchema() *wetune.Schema {
@@ -434,7 +551,9 @@ func cmdBenchDiscover(args []string) {
 	appendOut := fs.Bool("json", false, "append the measurement to the -out trajectory file")
 	name := fs.String("name", "run", "label recorded with the measurement")
 	out := fs.String("out", "BENCH_discover.json", "trajectory file used by -json")
+	of := addObsFlags(fs)
 	fs.Parse(args)
+	defer of.start()()
 
 	entry := bench.RunDiscover(*name)
 	if *appendOut {
@@ -462,7 +581,9 @@ func cmdBenchRewrite(args []string) {
 	name := fs.String("name", "run", "label recorded with the measurement")
 	out := fs.String("out", "BENCH_rewrite.json", "trajectory file used by -json")
 	engine := fs.String("engine", "search", "rewrite engine: search (indexed best-first) or greedy (retained baseline)")
+	of := addObsFlags(fs)
 	fs.Parse(args)
+	defer of.start()()
 
 	entry, err := bench.RunRewrite(*name, *engine)
 	if err != nil {

@@ -7,13 +7,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"wetune/internal/obs"
 	"wetune/internal/plan"
 	"wetune/internal/rewrite"
-	"wetune/internal/sql"
 	"wetune/internal/workload"
 )
 
@@ -49,32 +47,6 @@ type RewriteBench struct {
 	OutputSHA256 string `json:"output_sha256"`
 }
 
-// rewriteWorkload returns the fixed query corpus in deterministic order:
-// (schema, query) for every plannable app-corpus and Calcite-suite query.
-func rewriteWorkload(perApp int) (schemas map[string]*sql.Schema, items []struct{ App, SQL string }) {
-	schemas = map[string]*sql.Schema{}
-	for _, a := range workload.Apps() {
-		schemas[a.Name] = a.Schema
-	}
-	corpus := workload.Corpus(perApp)
-	apps := make([]string, 0, len(corpus))
-	for name := range corpus {
-		apps = append(apps, name)
-	}
-	sort.Strings(apps)
-	for _, name := range apps {
-		for _, q := range corpus[name] {
-			items = append(items, struct{ App, SQL string }{name, q.SQL})
-		}
-	}
-	schemas["__calcite"] = workload.CalciteSchema()
-	for _, pair := range workload.CalcitePairs() {
-		items = append(items, struct{ App, SQL string }{"__calcite", pair.Q1})
-		items = append(items, struct{ App, SQL string }{"__calcite", pair.Q2})
-	}
-	return schemas, items
-}
-
 // RunRewrite executes the fixed rewrite workload once with the given engine
 // ("search" or "greedy") and measures it. Allocation counts are process-wide
 // Mallocs deltas around the run.
@@ -83,7 +55,7 @@ func RunRewrite(name, engine string) (RewriteBench, error) {
 		return RewriteBench{}, fmt.Errorf("unknown engine %q (want search or greedy)", engine)
 	}
 	const perApp = 100
-	schemas, items := rewriteWorkload(perApp)
+	schemas, items := workload.RewriteCorpus(perApp)
 	rewriters := map[string]*rewrite.Rewriter{}
 	for app, schema := range schemas {
 		rewriters[app] = rewrite.NewRewriter(workload.WeTuneRules(), schema)

@@ -10,6 +10,7 @@ import (
 	"wetune/internal/engine"
 
 	"wetune/internal/obs"
+	"wetune/internal/obs/journal"
 	"wetune/internal/spes"
 	"wetune/internal/sql"
 	"wetune/internal/template"
@@ -69,6 +70,10 @@ func CheckRule(src, dest *template.Node, cs *constraint.Set, seed int64) (CheckR
 		reg.Counter("difftest.agreed").Inc()
 	case Mismatched:
 		reg.Counter("difftest.mismatched").Inc()
+		// A verifier/engine disagreement is exactly the moment the flight
+		// recorder exists for: flag it so the journal is dumped with the
+		// events leading up to the refuted rule still in the ring.
+		journal.Default().Anomaly("difftest mismatch: " + detail)
 	}
 	return res, detail
 }

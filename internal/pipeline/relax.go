@@ -7,6 +7,7 @@ import (
 
 	"wetune/internal/constraint"
 	"wetune/internal/obs"
+	"wetune/internal/obs/journal"
 	"wetune/internal/template"
 )
 
@@ -128,17 +129,25 @@ func (s *relaxer) prove(cs *constraint.Set) bool {
 		if v, ok := s.cache.Get(fpKey); ok {
 			s.ct.cacheHits.Add(1)
 			s.reg.Counter(metricCacheHits).Inc()
+			journal.Default().Record(journal.KindCacheHit, -1, journal.CacheProof, 0)
 			s.memo[key] = v
 			sp.SetNote("cache-hit %v (%d constraints)", v, cs.Len())
 			return v
 		}
 		s.ct.cacheMisses.Add(1)
 		s.reg.Counter(metricCacheMisses).Inc()
+		journal.Default().Record(journal.KindCacheMiss, -1, journal.CacheProof, 0)
 	}
 	s.ct.proverCalls.Add(1)
 	begin := time.Now()
 	v := s.prover(ctx, s.src, s.dest, cs)
-	s.reg.Histogram(metricProverSeconds).Observe(time.Since(begin))
+	dur := time.Since(begin)
+	s.reg.Histogram(metricProverSeconds).Observe(dur)
+	verdict := int64(0)
+	if v {
+		verdict = 1
+	}
+	journal.Default().Record(journal.KindProver, -1, verdict, int64(dur))
 	sp.SetNote("%v (%d constraints)", v, cs.Len())
 	if s.ctx.Err() != nil {
 		// The proof was interrupted: the conservative "false" must not be

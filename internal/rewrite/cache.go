@@ -3,8 +3,10 @@ package rewrite
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"wetune/internal/obs"
+	"wetune/internal/obs/journal"
 )
 
 // CachedResult is one memoized end-to-end rewrite outcome, keyed by the input
@@ -26,6 +28,9 @@ type ResultCache struct {
 	cap   int
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key → element whose Value is *cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type cacheEntry struct {
@@ -51,12 +56,34 @@ func (c *ResultCache) Get(key string) (CachedResult, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses.Add(1)
 		obs.Default().Counter("rewrite_result_cache_misses").Add(1)
+		journal.Default().Record(journal.KindCacheMiss, -1, journal.CacheResult, 0)
 		return CachedResult{}, false
 	}
 	c.order.MoveToFront(el)
+	c.hits.Add(1)
 	obs.Default().Counter("rewrite_result_cache_hits").Add(1)
+	journal.Default().Record(journal.KindCacheHit, -1, journal.CacheResult, 0)
 	return el.Value.(*cacheEntry).res, true
+}
+
+// CacheStats reports one ResultCache's own traffic (the obs counters
+// aggregate every cache in the process; these are per-instance).
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// Stats returns the cache's cumulative hit/miss counts and current size.
+func (c *ResultCache) Stats() CacheStats {
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
 }
 
 // Put stores key → res, evicting the least-recently-used entry on overflow.

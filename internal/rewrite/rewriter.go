@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"wetune/internal/engine"
+	"wetune/internal/obs/journal"
 	"wetune/internal/plan"
 	"wetune/internal/rules"
 	"wetune/internal/sql"
@@ -63,8 +64,11 @@ func (rw *Rewriter) ruleIndex() *RuleIndex {
 // source template cannot match at a node; attempts and matches land in the
 // default metrics registry (rewrite_rule_attempts / rewrite_rule_matches).
 func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
-	sc := &searchCtx{rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema}}
-	out := sc.expand(p)
+	sc := &searchCtx{
+		rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema},
+		jr: journal.Default(),
+	}
+	out := sc.expand(p, 0, 0)
 	sc.flushObs()
 	return out
 }
@@ -95,17 +99,32 @@ func (rw *Rewriter) Explore(p plan.Node, beam, depth int) (plan.Node, []Applied)
 
 // ExploreWithStats is Explore exposing the search Stats.
 func (rw *Rewriter) ExploreWithStats(p plan.Node, beam, depth int) (plan.Node, []Applied, Stats) {
+	return rw.Search(p, exploreOptions(beam, depth))
+}
+
+// ExploreProvenance is Explore recording full derivation provenance (see
+// SearchProvenance). It uses exactly the budgets ExploreWithStats uses for
+// the same beam/depth, so the plan, applied chain and costs are identical —
+// the contract `wetune explain` relies on to stay byte-consistent with
+// OptimizeSQLResult.
+func (rw *Rewriter) ExploreProvenance(p plan.Node, beam, depth int) (plan.Node, []Applied, Stats, *Provenance) {
+	return rw.SearchProvenance(p, exploreOptions(beam, depth))
+}
+
+// exploreOptions maps the §8.4 beam/depth parameterization onto Search
+// budgets.
+func exploreOptions(beam, depth int) Options {
 	if beam <= 0 {
 		beam = 8
 	}
 	if depth <= 0 {
 		depth = 5
 	}
-	return rw.Search(p, Options{
+	return Options{
 		MaxSteps:    depth,
 		MaxFrontier: beam,
 		MaxNodes:    beam * depth * 4,
-	})
+	}
 }
 
 func (rw *Rewriter) cost(p plan.Node) float64 {

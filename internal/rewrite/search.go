@@ -1,9 +1,11 @@
 package rewrite
 
 import (
+	"math"
 	"sort"
 
 	"wetune/internal/obs"
+	"wetune/internal/obs/journal"
 	"wetune/internal/plan"
 )
 
@@ -76,6 +78,7 @@ type state struct {
 	cost  float64
 	depth int
 	seq   int // insertion sequence: deterministic FIFO among rank ties
+	id    int // provenance node ID (0 unless provenance is recording)
 }
 
 // rankLess orders frontier states: smaller plans first, then cheaper, then
@@ -90,47 +93,109 @@ func rankLess(a, b *state) bool {
 	return a.seq < b.seq
 }
 
-// searchCtx is the per-call scratch of one Search: matcher, stats, memo and
-// frontier all live here, never on the shared Rewriter, so one Rewriter can
-// serve concurrent searches.
+// searchCtx is the per-call scratch of one Search: matcher, stats, memo,
+// frontier, flight-recorder handle and the optional provenance record all
+// live here, never on the shared Rewriter, so one Rewriter can serve
+// concurrent searches.
 type searchCtx struct {
 	rw    *Rewriter
 	idx   *RuleIndex
 	m     *Matcher
 	stats Stats
+	jr    *journal.Journal
+	prov  *Provenance
+	// bucketRules caches, per plan kind, the rule numbers the index keeps for
+	// that kind (provenance-only: attributes index pruning to specific rules).
+	bucketRules map[plan.Kind]map[int]bool
 }
 
-// expand generates every single-step rewrite of st's plan, in deterministic
-// (position, rule) order, consulting the rule index at each position.
-func (sc *searchCtx) expand(p plan.Node) []Candidate {
+// inBucket returns the rule numbers the index retains for fragments of kind.
+func (sc *searchCtx) inBucket(kind plan.Kind) map[int]bool {
+	if m, ok := sc.bucketRules[kind]; ok {
+		return m
+	}
+	m := map[int]bool{}
+	kindGroups, anyGroups := sc.idx.groupsFor(kind)
+	for _, groups := range [2][]*shapeGroup{kindGroups, anyGroups} {
+		for _, g := range groups {
+			for _, cr := range g.rules {
+				m[cr.Rule.No] = true
+			}
+		}
+	}
+	if sc.bucketRules == nil {
+		sc.bucketRules = map[plan.Kind]map[int]bool{}
+	}
+	sc.bucketRules[kind] = m
+	return m
+}
+
+// expand generates every single-step rewrite of the plan of node fromID, in
+// deterministic (position, rule) order, consulting the rule index at each
+// position. Aggregate prune counts, matcher attempts and matches land in the
+// flight recorder; per-rule attribution lands in the provenance record when
+// one is attached.
+func (sc *searchCtx) expand(p plan.Node, fromID, depth int) []Candidate {
 	fpP := plan.Fingerprint(p)
 	var out []Candidate
+	var idxPruned, shapePruned int64
 	for _, path := range nodePaths(p) {
 		frag := nodeAt(p, path)
 		kind := frag.Kind()
 		kindGroups, anyGroups := sc.idx.groupsFor(kind)
-		sc.stats.IndexPruned += int64(sc.idx.Total() - sc.idx.BucketSize(kind))
+		idxPruned += int64(sc.idx.Total() - sc.idx.BucketSize(kind))
+		if sc.prov != nil {
+			sc.prov.noteIndexPruned(sc.inBucket(kind))
+		}
 		for _, groups := range [2][]*shapeGroup{kindGroups, anyGroups} {
 			for _, g := range groups {
 				if !shapeMatches(g.shape, frag) {
-					sc.stats.ShapePruned += int64(len(g.rules))
+					shapePruned += int64(len(g.rules))
+					if sc.prov != nil {
+						for _, cr := range g.rules {
+							sc.prov.rule(cr.Rule.No).ShapePruned++
+						}
+					}
 					continue
 				}
 				for _, cr := range g.rules {
 					sc.stats.RuleAttempts++
+					sc.jr.Record(journal.KindRuleAttempt, int32(cr.Rule.No), journal.PackPath(path), 0)
+					if sc.prov != nil {
+						sc.prov.rule(cr.Rule.No).Attempts++
+					}
 					repl, ok := sc.m.ApplyCompiled(cr, frag)
 					if !ok {
+						if sc.prov != nil {
+							sc.prov.rule(cr.Rule.No).MatchFailed++
+						}
 						continue
 					}
 					sc.stats.RuleMatches++
+					sc.jr.Record(journal.KindRuleMatch, int32(cr.Rule.No), journal.PackPath(path), 0)
 					np := replaceAt(p, path, repl)
 					if plan.Fingerprint(np) == fpP {
-						continue // no-op application
+						// no-op application
+						if sc.prov != nil {
+							sc.prov.rule(cr.Rule.No).NoOps++
+							sc.prov.Candidates = append(sc.prov.Candidates, ProvCandidate{
+								FromNode: fromID, RuleNo: cr.Rule.No, RuleName: cr.Rule.Name,
+								Path: append([]int{}, path...), Fate: CandNoOp, Node: -1,
+							})
+						}
+						continue
 					}
 					// The fragment validated in isolation, but a rewrite that
 					// renames the fragment's output columns can break
 					// references in ENCLOSING operators — re-validate whole.
 					if validate(np) != nil {
+						if sc.prov != nil {
+							sc.prov.rule(cr.Rule.No).Invalid++
+							sc.prov.Candidates = append(sc.prov.Candidates, ProvCandidate{
+								FromNode: fromID, RuleNo: cr.Rule.No, RuleName: cr.Rule.Name,
+								Path: append([]int{}, path...), Fate: CandInvalid, Node: -1,
+							})
+						}
 						continue
 					}
 					out = append(out, Candidate{
@@ -142,7 +207,16 @@ func (sc *searchCtx) expand(p plan.Node) []Candidate {
 			}
 		}
 	}
+	sc.stats.IndexPruned += idxPruned
+	sc.stats.ShapePruned += shapePruned
 	sc.stats.CandidatesSeen += len(out)
+	if idxPruned > 0 {
+		sc.jr.Record(journal.KindRulePruned, -1, journal.PruneIndex, idxPruned)
+	}
+	if shapePruned > 0 {
+		sc.jr.Record(journal.KindRulePruned, -1, journal.PruneShape, shapePruned)
+	}
+	sc.jr.Record(journal.KindExpand, -1, int64(len(out)), int64(depth))
 	return out
 }
 
@@ -156,21 +230,59 @@ func pathLess(a, b []int) bool {
 	return len(a) < len(b)
 }
 
+// truncCode maps Stats.TruncatedBy to the flight-recorder budget code.
+func truncCode(by string) int64 {
+	switch by {
+	case "steps":
+		return journal.TruncSteps
+	case "frontier":
+		return journal.TruncFrontier
+	}
+	return journal.TruncNodes
+}
+
 // Search runs the cost-guided rewrite search: a best-first frontier over
 // derived plans ranked by (operator count, estimated cost), a fingerprint-
 // keyed visited memo so no derived plan is expanded twice, and explicit
 // step/frontier/node budgets. Equal-rank candidates are ordered by (rule
 // number, position), making the result deterministic and independent of the
 // rule-set ordering. ORDER BY elimination (§7) runs first, as in the greedy
-// engine. The returned Stats also land in the default metrics registry.
+// engine. The returned Stats also land in the default metrics registry, and
+// the aggregate event trail (expansions, prunes, attempts, matches,
+// candidates, memo hits, truncation) in the default flight recorder.
 func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Stats) {
+	out, applied, stats, _ := rw.searchImpl(p, opts, nil)
+	return out, applied, stats
+}
+
+// SearchProvenance is Search additionally recording the full derivation:
+// every explored state, every candidate with its fate, the chosen step chain
+// with per-step costs, and the per-rule why-not funnel. The plan, applied
+// chain and Stats are identical to Search's for the same input and options
+// (provenance only observes; it never changes ranking or budgets).
+func (rw *Rewriter) SearchProvenance(p plan.Node, opts Options) (plan.Node, []Applied, Stats, *Provenance) {
+	return rw.searchImpl(p, opts, newProvenance(rw.ruleIndex()))
+}
+
+func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (plan.Node, []Applied, Stats, *Provenance) {
 	opts = opts.withDefaults()
-	sc := &searchCtx{rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema}}
+	sc := &searchCtx{
+		rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema},
+		jr: journal.Default(), prov: prov,
+	}
 
 	start := EliminateOrderBy(p)
 	first := &state{plan: start, size: plan.Size(start), cost: rw.cost(start)}
 	sc.stats.InitialSize = first.size
 	sc.stats.InitialCost = first.cost
+	if prov != nil {
+		prov.InitialSize = first.size
+		prov.InitialCost = first.cost
+		prov.Nodes = append(prov.Nodes, ProvNode{
+			ID: 0, Parent: -1, RuleNo: -1, Depth: 0,
+			Size: first.size, Cost: first.cost, Fate: FatePending,
+		})
+	}
 
 	seen := map[string]bool{plan.Fingerprint(start): true}
 	frontier := []*state{first}
@@ -181,6 +293,7 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 		if !sc.stats.Truncated {
 			sc.stats.Truncated = true
 			sc.stats.TruncatedBy = by
+			sc.jr.Record(journal.KindTruncated, -1, truncCode(by), 0)
 		}
 	}
 
@@ -195,11 +308,17 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 			// Conservative: the state might have had no candidates, but the
 			// step budget stopped us from finding out.
 			truncate("steps")
+			if prov != nil {
+				prov.Nodes[st.id].Fate = FateStepsBudget
+			}
 			continue
 		}
 		sc.stats.NodesExplored++
+		if prov != nil {
+			prov.Nodes[st.id].Fate = FateExpanded
+		}
 
-		cands := sc.expand(st.plan)
+		cands := sc.expand(st.plan, st.id, st.depth)
 		// Deterministic tie-break: candidates of equal (size, cost) enter the
 		// frontier — and thus become the incumbent best — in (rule number,
 		// position) order, regardless of rule-set ordering.
@@ -229,6 +348,15 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 			fp := plan.Fingerprint(r.c.Plan)
 			if seen[fp] {
 				sc.stats.MemoHits++
+				sc.jr.Record(journal.KindMemoHit, int32(r.c.Rule.No), journal.PackPath(r.c.Path), 0)
+				if prov != nil {
+					prov.rule(r.c.Rule.No).MemoDups++
+					prov.Candidates = append(prov.Candidates, ProvCandidate{
+						FromNode: st.id, RuleNo: r.c.Rule.No, RuleName: r.c.Rule.Name,
+						Path: r.c.Path, Size: r.size, Cost: r.cost,
+						Fate: CandMemoHit, Node: -1,
+					})
+				}
 				continue
 			}
 			seen[fp] = true
@@ -242,6 +370,22 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 				seq:   seq,
 			}
 			seq++
+			sc.jr.Record(journal.KindCandidate, int32(r.c.Rule.No),
+				int64(r.size), int64(math.Float64bits(r.cost)))
+			if prov != nil {
+				ns.id = len(prov.Nodes)
+				prov.Nodes = append(prov.Nodes, ProvNode{
+					ID: ns.id, Parent: st.id,
+					RuleNo: r.c.Rule.No, RuleName: r.c.Rule.Name, Path: r.c.Path,
+					Depth: ns.depth, Size: ns.size, Cost: ns.cost, Fate: FatePending,
+				})
+				prov.rule(r.c.Rule.No).Enqueued++
+				prov.Candidates = append(prov.Candidates, ProvCandidate{
+					FromNode: st.id, RuleNo: r.c.Rule.No, RuleName: r.c.Rule.Name,
+					Path: r.c.Path, Size: r.size, Cost: r.cost,
+					Fate: CandEnqueued, Node: ns.id,
+				})
+			}
 			if ns.size < best.size || (ns.size == best.size && ns.cost < best.cost) {
 				best = ns
 			}
@@ -254,6 +398,11 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 			frontier[i] = ns
 		}
 		if len(frontier) > opts.MaxFrontier {
+			if prov != nil {
+				for _, dropped := range frontier[opts.MaxFrontier:] {
+					prov.Nodes[dropped.id].Fate = FateDropped
+				}
+			}
 			frontier = frontier[:opts.MaxFrontier]
 			truncate("frontier")
 		}
@@ -262,8 +411,13 @@ func (rw *Rewriter) Search(p plan.Node, opts Options) (plan.Node, []Applied, Sta
 	sc.stats.FinalSize = best.size
 	sc.stats.FinalCost = best.cost
 	sc.stats.Steps = len(best.path)
+	if prov != nil {
+		prov.FinalSize = best.size
+		prov.FinalCost = best.cost
+		prov.finish(best.id)
+	}
 	sc.flushObs()
-	return best.plan, best.path, sc.stats
+	return best.plan, best.path, sc.stats, prov
 }
 
 // flushObs threads the search stats into the default metrics registry.

@@ -209,6 +209,58 @@ func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
 	return res, nil
 }
 
+// Provenance is the full derivation record of one rewrite search: explored
+// states, every candidate with the reason it did or did not survive, the
+// chosen step chain with per-step costs, and the per-rule why-not funnel.
+type Provenance = rewrite.Provenance
+
+// ExplainResult is OptimizeSQLResult's outcome plus the derivation
+// provenance behind it.
+type ExplainResult struct {
+	RewriteResult
+	Provenance *Provenance `json:"provenance"`
+}
+
+// ExplainSQL parses, plans and optimizes like OptimizeSQLResult, but records
+// the full derivation: why each applied rule was chosen (per-step node path
+// and cost delta), what the search rejected and why, and how far every other
+// rule got before a gate stopped it. The embedded RewriteResult is computed
+// with the same budgets as OptimizeSQLResult, so Output, Applied and the
+// costs are identical to what OptimizeSQL would return for the same query.
+// ExplainSQL never reads or populates the result cache (an explanation must
+// describe a real search, not a memo).
+func (o *Optimizer) ExplainSQL(query string) (*ExplainResult, error) {
+	p, err := plan.BuildSQL(query, o.rw.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out, applied, stats, prov := o.rw.ExploreProvenance(p, 12, 6)
+	return &ExplainResult{
+		RewriteResult: RewriteResult{
+			Input:      query,
+			Output:     plan.ToSQLString(out),
+			Applied:    applied,
+			CostBefore: stats.InitialCost,
+			CostAfter:  stats.FinalCost,
+			Stats:      stats,
+		},
+		Provenance: prov,
+	}, nil
+}
+
+// CacheStats reports result-cache traffic: hits, misses, hit rate, entries.
+type CacheStats = rewrite.CacheStats
+
+// ResultCacheStats reports the Optimizer's result-cache traffic (hits,
+// misses, hit rate, entries). ok is false when EnableResultCache was never
+// called.
+func (o *Optimizer) ResultCacheStats() (stats CacheStats, ok bool) {
+	if o.cache == nil {
+		return CacheStats{}, false
+	}
+	return o.cache.Stats(), true
+}
+
 // PlanSQL parses and lowers a query against the optimizer's schema.
 func (o *Optimizer) PlanSQL(query string) (Plan, error) {
 	return plan.BuildSQL(query, o.rw.Schema)

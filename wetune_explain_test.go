@@ -1,0 +1,116 @@
+package wetune
+
+import (
+	"reflect"
+	"testing"
+
+	"wetune/internal/workload"
+)
+
+// TestExplainMatchesOptimizeWorkload pins the explain contract across the
+// full evaluation corpus: for every plannable query, ExplainSQL must report
+// exactly the rewrite OptimizeSQLResult performs — same output SQL, same
+// applied chain, same costs and search stats — with the provenance steps
+// index-aligned to the applied chain. An explanation that disagrees with the
+// optimizer it explains is worse than none.
+func TestExplainMatchesOptimizeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload sweep")
+	}
+	schemas, items := workload.RewriteCorpus(100)
+	opts := map[string]*Optimizer{}
+	for app, schema := range schemas {
+		opts[app] = NewOptimizer(BuiltinRules(), schema)
+	}
+	queries, rewritten := 0, 0
+	for _, it := range items {
+		o := opts[it.App]
+		res, err := o.OptimizeSQLResult(it.SQL)
+		if err != nil {
+			continue // unplannable queries fail identically on both paths
+		}
+		ex, err := o.ExplainSQL(it.SQL)
+		if err != nil {
+			t.Fatalf("%s: OptimizeSQLResult planned but ExplainSQL errored: %v", it.SQL, err)
+		}
+		queries++
+		if ex.Output != res.Output {
+			t.Fatalf("%s:\nexplain output:  %s\noptimize output: %s", it.SQL, ex.Output, res.Output)
+		}
+		if !reflect.DeepEqual(ex.Applied, res.Applied) {
+			t.Fatalf("%s: applied chains differ:\nexplain:  %+v\noptimize: %+v", it.SQL, ex.Applied, res.Applied)
+		}
+		if ex.CostBefore != res.CostBefore || ex.CostAfter != res.CostAfter {
+			t.Fatalf("%s: costs differ: explain %v→%v, optimize %v→%v",
+				it.SQL, ex.CostBefore, ex.CostAfter, res.CostBefore, res.CostAfter)
+		}
+		if ex.Stats != res.Stats {
+			t.Fatalf("%s: stats differ:\nexplain:  %+v\noptimize: %+v", it.SQL, ex.Stats, res.Stats)
+		}
+		prov := ex.Provenance
+		if prov == nil {
+			t.Fatalf("%s: ExplainSQL returned nil provenance", it.SQL)
+		}
+		if len(prov.Steps) != len(res.Applied) {
+			t.Fatalf("%s: %d provenance steps vs %d applied", it.SQL, len(prov.Steps), len(res.Applied))
+		}
+		for i, s := range prov.Steps {
+			if s.RuleNo != res.Applied[i].RuleNo || s.RuleName != res.Applied[i].RuleName {
+				t.Fatalf("%s step %d: provenance %d/%s vs applied %d/%s",
+					it.SQL, i, s.RuleNo, s.RuleName, res.Applied[i].RuleNo, res.Applied[i].RuleName)
+			}
+		}
+		if len(res.Applied) > 0 {
+			rewritten++
+		}
+	}
+	if queries < 2000 {
+		t.Fatalf("workload shrank: only %d plannable queries", queries)
+	}
+	if rewritten == 0 {
+		t.Fatal("no query in the workload was rewritten")
+	}
+	t.Logf("explain agreed with optimize on %d queries (%d rewritten)", queries, rewritten)
+}
+
+// TestExplainBypassesResultCache: explanations always describe a real search,
+// even when the result cache would have answered.
+func TestExplainBypassesResultCache(t *testing.T) {
+	schema := MustParseSchema(`CREATE TABLE t (id INT PRIMARY KEY, v INT);`)
+	o := NewOptimizer(BuiltinRules(), schema)
+	o.EnableResultCache(8)
+	const q = `SELECT id FROM t WHERE id IN (SELECT id FROM t)`
+	if _, err := o.OptimizeSQLResult(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.OptimizeSQLResult(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("second OptimizeSQLResult should hit the cache")
+	}
+	ex, err := o.ExplainSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cached {
+		t.Fatal("ExplainSQL must not be served from the result cache")
+	}
+	if ex.Provenance == nil || len(ex.Provenance.Nodes) == 0 {
+		t.Fatal("ExplainSQL recorded no search nodes")
+	}
+	if ex.Output != res.Output || !reflect.DeepEqual(ex.Applied, res.Applied) {
+		t.Fatalf("explain and cached optimize disagree: %q vs %q", ex.Output, res.Output)
+	}
+	stats, ok := o.ResultCacheStats()
+	if !ok {
+		t.Fatal("ResultCacheStats should report an enabled cache")
+	}
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 miss", stats)
+	}
+	if stats.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", stats.HitRate)
+	}
+}
