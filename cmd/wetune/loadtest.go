@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"wetune/internal/loadgen"
+	"wetune/internal/server"
+)
+
+// cmdLoadtest drives POST /v1/rewrite with the fixed rewrite corpus — against
+// a live server (-addr) or an in-process daemon (-inprocess, no sockets) —
+// and reports throughput, exact p50/p90/p99 latency and error counts. With
+// -json the entry is appended to the BENCH_serve.json trajectory. A run that
+// saw transport errors or 5xx responses exits 1.
+func cmdLoadtest(args []string) int {
+	fs := newFlagSet("loadtest")
+	addr := fs.String("addr", "http://localhost:8080", "target server base URL")
+	inprocess := fs.Bool("inprocess", false, "drive an in-process server handler instead of -addr (no network; isolates the daemon from the socket stack)")
+	conc := fs.Int("c", 8, "concurrent workers (closed loop: each issues its next request when the previous answers)")
+	dur := fs.Duration("d", 5*time.Second, "run duration")
+	rate := fs.Float64("rate", 0, "target requests/second across all workers (0 = closed loop, as fast as responses return)")
+	iters := fs.Int64("n", 0, "total request bound (0 = none; the run then stops on -d)")
+	perApp := fs.Int("per-app", 20, "corpus size: queries per application archetype")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout (also sent as timeout_ms so the server budget matches)")
+	asJSON := fs.Bool("json", false, "print the report as JSON and append it to -out")
+	name := fs.String("name", "run", "label recorded with the measurement")
+	out := fs.String("out", "BENCH_serve.json", "trajectory file used by -json")
+	of := addObsFlags(fs)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	finish := of.start()
+	defer finish()
+
+	opts := loadgen.Options{
+		Concurrency: *conc,
+		Duration:    *dur,
+		Iterations:  *iters,
+		Rate:        *rate,
+		PerApp:      *perApp,
+		Timeout:     *timeout,
+	}
+	if *inprocess {
+		srv, err := server.New(server.Config{
+			Schemas:    serveSchemas(),
+			DefaultApp: "demo",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		opts.Handler = srv.Handler()
+	} else {
+		opts.BaseURL = *addr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := loadgen.Run(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		return exitError
+	}
+	rep.Name = *name
+
+	if *asJSON {
+		if _, err := loadgen.AppendJSON(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: %d errors (transport failures or 5xx)\n", rep.Errors)
+		return exitError
+	}
+	return exitOK
+}

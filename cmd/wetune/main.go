@@ -1,5 +1,6 @@
 // Command wetune is the CLI front end: discover rules, verify rules, rewrite
-// queries, and regenerate the paper's evaluation tables.
+// queries, serve rewrites over HTTP, and regenerate the paper's evaluation
+// tables.
 //
 // Usage:
 //
@@ -19,17 +20,36 @@
 //	                                            replayable counterexample to -repro
 //	wetune fuzz -replay FILE                    re-execute a saved repro and report whether the
 //	                                            mismatch still reproduces
-//	wetune rewrite -q "SELECT ..." [-json] [-n N]
+//	wetune rewrite -q "SELECT ..." [-json] [-n N] [-deadline D]
 //	                                            rewrite one query over the demo schema;
 //	                                            -json emits input/output SQL, the applied
 //	                                            rule chain, cost before/after, search stats
 //	                                            and result-cache traffic as JSON; -n repeats
-//	                                            the rewrite to exercise the result cache
+//	                                            the rewrite to exercise the result cache;
+//	                                            -deadline bounds the search wall clock (an
+//	                                            expired deadline returns the best plan found
+//	                                            so far and exits 3)
 //	wetune explain -q "SELECT ..." [-json]      rewrite one query and render the full
 //	                                            derivation: chosen step chain with per-step
 //	                                            paths and cost deltas, the explored search
 //	                                            tree, and the per-rule why-not funnel; the
 //	                                            applied chain and costs match wetune rewrite
+//	wetune serve [-addr :8080] [-workers N] [-queue N] [-timeout 10s]
+//	             [-max-body N] [-result-cache N]
+//	                                            run the rewrite-as-a-service daemon over the
+//	                                            demo schema plus every workload app schema:
+//	                                            POST /v1/rewrite, POST /v1/explain,
+//	                                            GET /v1/rules, GET /healthz, GET /readyz;
+//	                                            bounded admission (429 on overload), graceful
+//	                                            drain on SIGINT/SIGTERM
+//	wetune loadtest [-addr URL | -inprocess] [-c N] [-d 5s] [-rate R] [-n N]
+//	                [-per-app N] [-timeout 5s] [-json] [-name NAME] [-out FILE]
+//	                                            drive a server (or an in-process handler)
+//	                                            over the fixed rewrite corpus and report
+//	                                            throughput, p50/p90/p99 latency and error
+//	                                            counts; -json appends the entry to -out
+//	                                            (default BENCH_serve.json); exits 1 when the
+//	                                            run saw transport errors or 5xx responses
 //	wetune report rules [-json] [-per-app N]    run the fixed rewrite workload and report
 //	                                            per-rule effectiveness: fire/win/no-op
 //	                                            counts, cost-delta histograms, and the
@@ -50,12 +70,21 @@
 //	                                            retained pre-index loop; -json appends the
 //	                                            entry to -out (default BENCH_rewrite.json)
 //
-// Every long-running subcommand (discover, fuzz, rewrite, explain, report,
-// bench discover, bench rewrite) also accepts the shared observability flags:
-// -metrics FILE dumps the metrics registry as JSON on exit, -debug-addr ADDR
-// serves expvar + pprof live, and -journal FILE dumps the always-on flight
-// recorder (the last ~32k engine events) as JSONL on exit, SIGINT, or
-// recorded anomaly.
+// Exit codes are uniform across subcommands and distinguish failure from
+// success-with-truncation:
+//
+//	0  success
+//	1  runtime error (bad SQL, I/O failure, fuzz mismatch, loadtest 5xx)
+//	2  usage error (unknown subcommand, bad or missing flags)
+//	3  success, but a search budget truncated the rewrite (rewrite/explain:
+//	   Stats.Truncated — the output is correct, a larger budget may improve it)
+//
+// Every long-running subcommand (discover, fuzz, rewrite, explain, serve,
+// loadtest, report, bench discover, bench rewrite) also accepts the shared
+// observability flags: -metrics FILE dumps the metrics registry as JSON on
+// exit, -debug-addr ADDR serves expvar + pprof live, and -journal FILE dumps
+// the always-on flight recorder (the last ~32k engine events) as JSONL on
+// exit, SIGINT, or recorded anomaly.
 package main
 
 import (
@@ -80,40 +109,68 @@ import (
 	"wetune/internal/verify"
 )
 
+// Exit codes (see the package comment's table). exitTruncated is
+// deliberately distinct from exitError: scripts can tell "the rewrite failed"
+// from "the rewrite succeeded but a budget cut the search".
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitTruncated = 3
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches a subcommand and returns its exit code. It never calls
+// os.Exit itself, so the exit-code table is testable in-process.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "discover":
-		cmdDiscover(os.Args[2:])
+		return cmdDiscover(args[1:])
 	case "rules":
-		cmdRules()
+		return cmdRules()
 	case "verify":
-		cmdVerify()
+		return cmdVerify()
 	case "fuzz":
-		cmdFuzz(os.Args[2:])
+		return cmdFuzz(args[1:])
 	case "rewrite":
-		cmdRewrite(os.Args[2:])
+		return cmdRewrite(args[1:])
 	case "explain":
-		cmdExplain(os.Args[2:])
+		return cmdExplain(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadtest":
+		return cmdLoadtest(args[1:])
 	case "report":
-		cmdReport(os.Args[2:])
+		return cmdReport(args[1:])
 	case "bench":
-		cmdBench(os.Args[2:])
+		return cmdBench(args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|explain|report|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|explain|serve|loadtest|report|bench> [flags]")
 }
 
-func cmdDiscover(args []string) {
-	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+// newFlagSet builds a flag set that reports parse failures via error (so run
+// can map them to exitUsage) instead of exiting the process.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func cmdDiscover(args []string) int {
+	fs := newFlagSet("discover")
 	size := fs.Int("size", 2, "max template size (paper uses 4; expensive above 2)")
 	budget := fs.Duration("budget", 60*time.Second, "wall-clock budget (interrupts in-flight proofs)")
 	workers := fs.Int("workers", 0, "search workers (0 = GOMAXPROCS)")
@@ -123,12 +180,14 @@ func cmdDiscover(args []string) {
 	of := addObsFlags(fs)
 	traceSlow := fs.Duration("trace-slow", 0, "log the span tree (pair → prove → verify → smt.solve) of every pair slower than this threshold, e.g. 500ms (0 = off)")
 	crossCheck := fs.Bool("crosscheck", false, "differentially test every verifier-accepted rule against the in-memory engine and drop rules the oracle refutes")
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 
 	if *cacheFile != "" {
 		if err := pipeline.Shared().LoadFile(*cacheFile); err != nil {
 			fmt.Fprintln(os.Stderr, "cache load:", err)
-			os.Exit(1)
+			return exitError
 		}
 	}
 	// saveCache is called from the normal exit path AND from the signal
@@ -184,7 +243,7 @@ func cmdDiscover(args []string) {
 	case "algebraic":
 	default:
 		fmt.Fprintf(os.Stderr, "discover: unknown -prover %q (want full or algebraic)\n", *prover)
-		os.Exit(2)
+		return exitUsage
 	}
 	if *traceSlow > 0 {
 		opts.SlowTrace = func(tree string) {
@@ -212,28 +271,31 @@ func cmdDiscover(args []string) {
 	}
 	saveCache("exit")
 	finish()
+	return exitOK
 }
 
-func cmdRules() {
+func cmdRules() int {
 	for _, r := range wetune.BuiltinRules() {
 		fmt.Printf("rule %3d  %-32s verifier=%s calcite=%v mssql=%s\n",
 			r.No, r.Name, r.Verifier, r.Calcite, r.MS)
 		fmt.Printf("          %s\n       => %s\n", r.Src, r.Dest)
 		fmt.Printf("          %s\n", r.Constraints)
 	}
+	return exitOK
 }
 
-func cmdVerify() {
+func cmdVerify() int {
 	for _, r := range rules.Table7() {
 		rep := verify.Verify(r.Src, r.Dest, r.Constraints)
 		sOK, _ := spes.VerifyRule(r.Src, r.Dest, r.Constraints)
 		fmt.Printf("rule %3d  %-32s builtin=%-10v spes=%v (paper: %s)\n",
 			r.No, r.Name, rep.Outcome, sOK, r.Verifier)
 	}
+	return exitOK
 }
 
-func cmdFuzz(args []string) {
-	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+func cmdFuzz(args []string) int {
+	fs := newFlagSet("fuzz")
 	seed := fs.Int64("seed", 1, "root seed; the same seed replays the same run")
 	n := fs.Int("n", 500, "fuzzing iterations (schema+data+query draws)")
 	budget := fs.Duration("budget", 0, "wall-clock bound for the whole run (0 = none)")
@@ -242,34 +304,30 @@ func cmdFuzz(args []string) {
 	replayFile := fs.String("replay", "", "re-execute a saved repro instead of fuzzing; exits 1 if the mismatch still reproduces")
 	all := fs.Bool("all", false, "keep fuzzing after the first mismatch and report every one")
 	of := addObsFlags(fs)
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	finish := of.start()
 	defer finish()
-	// os.Exit skips defers, so the failure exits below flush explicitly —
-	// the mismatch run is exactly when the journal and metrics matter.
-	fail := func() {
-		finish()
-		os.Exit(1)
-	}
 
 	if *replayFile != "" {
 		rp, err := difftest.LoadRepro(*replayFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz: load repro:", err)
-			fail()
+			return exitError
 		}
 		fmt.Println(rp.Summary())
 		mismatch, err := rp.Replay()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz: replay:", err)
-			fail()
+			return exitError
 		}
 		if mismatch {
 			fmt.Println("replay: mismatch REPRODUCES")
-			fail()
+			return exitError
 		}
 		fmt.Println("replay: plans now agree (mismatch no longer reproduces)")
-		return
+		return exitOK
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -284,12 +342,12 @@ func cmdFuzz(args []string) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
-		fail()
+		return exitError
 	}
 	fmt.Printf("fuzz: seed=%d iterations=%d candidates=%d mismatches=%d elapsed=%v\n",
 		*seed, rep.Iterations, rep.Candidates, len(rep.Mismatches), rep.Elapsed.Round(time.Millisecond))
 	if len(rep.Mismatches) == 0 {
-		return
+		return exitOK
 	}
 	for _, m := range rep.Mismatches {
 		fmt.Printf("\nMISMATCH at iteration %d: rule %d (%s)\n%s\n%s\n",
@@ -303,7 +361,7 @@ func cmdFuzz(args []string) {
 				*reproFile, *reproFile)
 		}
 	}
-	fail()
+	return exitError
 }
 
 // rewriteOutput is cmdRewrite's -json envelope: the rewrite result plus the
@@ -313,17 +371,21 @@ type rewriteOutput struct {
 	ResultCache *wetune.CacheStats `json:"result_cache,omitempty"`
 }
 
-func cmdRewrite(args []string) {
-	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+func cmdRewrite(args []string) int {
+	fs := newFlagSet("rewrite")
 	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
 	asJSON := fs.Bool("json", false, "emit the machine-readable result (input/output SQL, applied rule chain, cost before/after, search stats, cache traffic) as JSON")
 	repeat := fs.Int("n", 1, "rewrite the query N times (exercises the result cache; N-1 hits expected)")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the rewrite search (0 = none); an expired deadline returns the best plan found so far and exits 3")
 	of := addObsFlags(fs)
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	finish := of.start()
+	defer finish()
 	if *query == "" {
 		fmt.Fprintln(os.Stderr, "rewrite: -q is required")
-		os.Exit(2)
+		return exitUsage
 	}
 	schema := demoSchema()
 	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
@@ -331,11 +393,16 @@ func cmdRewrite(args []string) {
 	var res *wetune.RewriteResult
 	var err error
 	for i := 0; i < *repeat || i == 0; i++ {
-		res, err = opt.OptimizeSQLResult(*query)
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if *deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+		}
+		res, err = opt.OptimizeSQLResultContext(ctx, *query)
+		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			finish()
-			os.Exit(1)
+			return exitError
 		}
 	}
 	cache, _ := opt.ResultCacheStats()
@@ -343,12 +410,13 @@ func cmdRewrite(args []string) {
 		data, err := json.MarshalIndent(rewriteOutput{res, &cache}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			finish()
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Println(string(data))
-		finish()
-		return
+		if res.Stats.Truncated {
+			return exitTruncated
+		}
+		return exitOK
 	}
 	fmt.Println("original: ", res.Input)
 	fmt.Println("rewritten:", res.Output)
@@ -363,7 +431,10 @@ func cmdRewrite(args []string) {
 	}
 	fmt.Printf("result cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
 		cache.Hits, cache.Misses, 100*cache.HitRate, cache.Entries)
-	finish()
+	if res.Stats.Truncated {
+		return exitTruncated
+	}
+	return exitOK
 }
 
 // cmdExplain rewrites one query like cmdRewrite but records and renders the
@@ -371,34 +442,37 @@ func cmdRewrite(args []string) {
 // deltas, the explored search tree, and the per-rule why-not funnel. The
 // embedded result is computed with the same budgets as `wetune rewrite`, so
 // the applied chain and costs are identical.
-func cmdExplain(args []string) {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func cmdExplain(args []string) int {
+	fs := newFlagSet("explain")
 	query := fs.String("q", "", "SQL query over the demo GitLab schema (labels, notes, projects, issues)")
 	asJSON := fs.Bool("json", false, "emit the machine-readable result (rewrite result + full provenance record) as JSON")
 	of := addObsFlags(fs)
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	finish := of.start()
+	defer finish()
 	if *query == "" {
 		fmt.Fprintln(os.Stderr, "explain: -q is required")
-		os.Exit(2)
+		return exitUsage
 	}
 	opt := wetune.NewOptimizer(wetune.BuiltinRules(), demoSchema())
 	res, err := opt.ExplainSQL(*query)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		finish()
-		os.Exit(1)
+		return exitError
 	}
 	if *asJSON {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			finish()
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Println(string(data))
-		finish()
-		return
+		if res.Stats.Truncated {
+			return exitTruncated
+		}
+		return exitOK
 	}
 	fmt.Println("original: ", res.Input)
 	fmt.Println("rewritten:", res.Output)
@@ -416,36 +490,39 @@ func cmdExplain(args []string) {
 	fmt.Print(prov.RenderWhyNot())
 	if res.Stats.Truncated {
 		fmt.Printf("\n(search truncated by %s budget; a larger budget may find more rewrites)\n", res.Stats.TruncatedBy)
+		return exitTruncated
 	}
-	finish()
+	return exitOK
 }
 
 // cmdReport renders workload-level analytics; "rules" is the only report so
 // far: per-rule effectiveness over the fixed rewrite corpus.
-func cmdReport(args []string) {
+func cmdReport(args []string) int {
 	if len(args) < 1 || args[0] != "rules" {
 		fmt.Fprintln(os.Stderr, "usage: wetune report rules [-json] [-per-app N] [-metrics FILE] [-journal FILE]")
-		os.Exit(2)
+		return exitUsage
 	}
-	fs := flag.NewFlagSet("report rules", flag.ExitOnError)
+	fs := newFlagSet("report rules")
 	asJSON := fs.Bool("json", false, "emit the full report (per-rule funnels, cost-delta histograms, dead list, journal/registry views) as JSON")
 	perApp := fs.Int("per-app", 100, "queries per application archetype (the bench workload uses 100)")
 	of := addObsFlags(fs)
-	fs.Parse(args[1:])
+	if fs.Parse(args[1:]) != nil {
+		return exitUsage
+	}
 	finish := of.start()
+	defer finish()
 	rep := analytics.Rules(*perApp)
 	if *asJSON {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			finish()
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(rep.Render())
 	}
-	finish()
+	return exitOK
 }
 
 func demoSchema() *wetune.Schema {
@@ -491,18 +568,16 @@ func demoSchema() *wetune.Schema {
 	return s
 }
 
-func cmdBench(args []string) {
+func cmdBench(args []string) int {
 	which := "all"
 	if len(args) > 0 {
 		which = args[0]
 	}
 	if which == "discover" {
-		cmdBenchDiscover(args[1:])
-		return
+		return cmdBenchDiscover(args[1:])
 	}
 	if which == "rewrite" {
-		cmdBenchRewrite(args[1:])
-		return
+		return cmdBenchRewrite(args[1:])
 	}
 	experiments := []struct {
 		name string
@@ -539,35 +614,39 @@ func cmdBench(args []string) {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
-		os.Exit(2)
+		return exitUsage
 	}
+	return exitOK
 }
 
 // cmdBenchDiscover measures the fixed cold-cache discovery workload once and
 // prints the measurement as JSON. With -json the entry is also appended to
 // -out, so the before/after trajectory of an optimization can be committed.
-func cmdBenchDiscover(args []string) {
-	fs := flag.NewFlagSet("bench discover", flag.ExitOnError)
+func cmdBenchDiscover(args []string) int {
+	fs := newFlagSet("bench discover")
 	appendOut := fs.Bool("json", false, "append the measurement to the -out trajectory file")
 	name := fs.String("name", "run", "label recorded with the measurement")
 	out := fs.String("out", "BENCH_discover.json", "trajectory file used by -json")
 	of := addObsFlags(fs)
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	defer of.start()()
 
 	entry := bench.RunDiscover(*name)
 	if *appendOut {
 		if _, err := bench.AppendDiscoverJSON(*out, entry); err != nil {
 			fmt.Fprintln(os.Stderr, "bench discover:", err)
-			os.Exit(1)
+			return exitError
 		}
 	}
 	data, err := json.MarshalIndent(entry, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench discover:", err)
-		os.Exit(1)
+		return exitError
 	}
 	fmt.Println(string(data))
+	return exitOK
 }
 
 // cmdBenchRewrite measures the fixed rewrite workload (app corpus + Calcite
@@ -575,31 +654,34 @@ func cmdBenchDiscover(args []string) {
 // also appended to -out, so the before/after trajectory of an engine change
 // can be committed; -engine greedy measures the retained pre-index loop for
 // comparison.
-func cmdBenchRewrite(args []string) {
-	fs := flag.NewFlagSet("bench rewrite", flag.ExitOnError)
+func cmdBenchRewrite(args []string) int {
+	fs := newFlagSet("bench rewrite")
 	appendOut := fs.Bool("json", false, "append the measurement to the -out trajectory file")
 	name := fs.String("name", "run", "label recorded with the measurement")
 	out := fs.String("out", "BENCH_rewrite.json", "trajectory file used by -json")
 	engine := fs.String("engine", "search", "rewrite engine: search (indexed best-first) or greedy (retained baseline)")
 	of := addObsFlags(fs)
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	defer of.start()()
 
 	entry, err := bench.RunRewrite(*name, *engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench rewrite:", err)
-		os.Exit(1)
+		return exitError
 	}
 	if *appendOut {
 		if _, err := bench.AppendRewriteJSON(*out, entry); err != nil {
 			fmt.Fprintln(os.Stderr, "bench rewrite:", err)
-			os.Exit(1)
+			return exitError
 		}
 	}
 	data, err := json.MarshalIndent(entry, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench rewrite:", err)
-		os.Exit(1)
+		return exitError
 	}
 	fmt.Println(string(data))
+	return exitOK
 }

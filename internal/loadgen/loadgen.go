@@ -1,0 +1,336 @@
+// Package loadgen is the closed-loop load generator behind `wetune
+// loadtest`: N workers drive POST /v1/rewrite with the fixed rewrite corpus
+// (workload.RewriteCorpus) against a live server or an in-process handler,
+// and the run reports throughput, exact latency quantiles and per-status
+// counts — the numbers that say whether the daemon's admission control and
+// worker pool hold up under sustained load.
+//
+// Closed loop means each worker issues its next request as soon as the
+// previous one answers (back-to-back, concurrency = open requests); an
+// optional Rate turns it into a paced loop with the same concurrency bound.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wetune/internal/workload"
+)
+
+// Options configures one load run. Exactly one of BaseURL or Handler must
+// be set.
+type Options struct {
+	// BaseURL targets a live server, e.g. "http://localhost:8080".
+	BaseURL string
+	// Handler targets an in-process handler (no sockets): the server's
+	// admission, deadline and panic paths under load without the network.
+	Handler http.Handler
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// Duration bounds the run's wall clock (default 5s when Iterations is 0).
+	Duration time.Duration
+	// Iterations bounds the total requests issued (0 = unbounded; the run
+	// then stops on Duration).
+	Iterations int64
+	// Rate paces the run at this many requests/second across all workers
+	// (0 = closed loop, as fast as responses return).
+	Rate float64
+	// PerApp sizes the corpus (queries per application archetype; default 20).
+	PerApp int
+	// Timeout is the per-request client timeout, also sent as timeout_ms so
+	// the server's search budget matches (default 5s).
+	Timeout time.Duration
+}
+
+// Report is one load run's outcome. Latency quantiles are exact (computed
+// over every recorded request, not bucketed). Errors counts transport
+// failures and 5xx responses; 4xx responses (unparsable corpus queries
+// answer 422 by design) count only in Status.
+type Report struct {
+	Name        string  `json:"name"`
+	Date        string  `json:"date"`
+	Target      string  `json:"target"`
+	Concurrency int     `json:"concurrency"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+
+	DurationMS int64            `json:"duration_ms"`
+	Requests   int64            `json:"requests"`
+	Errors     int64            `json:"errors"`
+	Status     map[string]int64 `json:"status"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// handlerTransport adapts an http.Handler into a RoundTripper so the
+// in-process mode reuses the exact HTTP code path (status codes, headers,
+// body) without opening sockets.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, r)
+	return rec.Result(), nil
+}
+
+// Run executes one load run until the duration, iteration bound or ctx
+// cancellation — whichever first.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if (opts.BaseURL == "") == (opts.Handler == nil) {
+		return nil, fmt.Errorf("loadgen: exactly one of BaseURL or Handler is required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Duration <= 0 && opts.Iterations <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.PerApp <= 0 {
+		opts.PerApp = 20
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+
+	// Pre-render every request body once; workers cycle through them, so
+	// the generator allocates nothing per request beyond the HTTP machinery.
+	_, items := workload.RewriteCorpus(opts.PerApp)
+	if len(items) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	timeoutMS := opts.Timeout.Milliseconds()
+	bodies := make([][]byte, len(items))
+	for i, it := range items {
+		b, err := json.Marshal(map[string]any{
+			"sql": it.SQL, "app": it.App, "timeout_ms": timeoutMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	target := opts.BaseURL
+	client := &http.Client{Timeout: opts.Timeout + time.Second}
+	if opts.Handler != nil {
+		target = "in-process"
+		client.Transport = handlerTransport{h: opts.Handler}
+	}
+	url := strings.TrimSuffix(opts.BaseURL, "/") + "/v1/rewrite"
+	if opts.Handler != nil {
+		url = "http://in-process/v1/rewrite"
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if opts.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	// Optional pacing: one filler goroutine drips tokens at Rate; workers
+	// block on the token channel before each request.
+	var tokens chan struct{}
+	if opts.Rate > 0 {
+		tokens = make(chan struct{}, opts.Concurrency)
+		interval := time.Duration(float64(time.Second) / opts.Rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // workers saturated; drop the token
+					}
+				}
+			}
+		}()
+	}
+
+	type workerStats struct {
+		lats   []time.Duration
+		status map[int]int64
+		errs   int64
+	}
+	var issued atomic.Int64
+	var next atomic.Int64
+	stats := make([]workerStats, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			ws.status = map[int]int64{}
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				if opts.Iterations > 0 && issued.Add(1) > opts.Iterations {
+					return
+				}
+				if tokens != nil {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-tokens:
+					}
+				}
+				body := bodies[int(next.Add(1)-1)%len(bodies)]
+				req, err := http.NewRequestWithContext(runCtx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					ws.errs++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				if err != nil {
+					// A request cut off by the run deadline is the run
+					// ending, not a server failure.
+					if runCtx.Err() != nil {
+						return
+					}
+					ws.errs++
+					continue
+				}
+				_, _ = copyDiscard(resp)
+				ws.lats = append(ws.lats, lat)
+				ws.status[resp.StatusCode]++
+				if resp.StatusCode >= 500 {
+					ws.errs++
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Target:      target,
+		Concurrency: opts.Concurrency,
+		RateRPS:     opts.Rate,
+		DurationMS:  elapsed.Milliseconds(),
+		Status:      map[string]int64{},
+	}
+	var all []time.Duration
+	for i := range stats {
+		ws := &stats[i]
+		all = append(all, ws.lats...)
+		rep.Errors += ws.errs
+		for code, n := range ws.status {
+			rep.Status[strconv.Itoa(code)] += n
+		}
+	}
+	rep.Requests = int64(len(all))
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		rep.MeanMS = ms(sum / time.Duration(len(all)))
+		rep.MaxMS = ms(all[len(all)-1])
+		rep.P50MS = ms(quantile(all, 0.50))
+		rep.P90MS = ms(quantile(all, 0.90))
+		rep.P99MS = ms(quantile(all, 0.99))
+	}
+	return rep, nil
+}
+
+// quantile returns the exact q-quantile of a sorted latency slice (nearest
+// rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// copyDiscard drains and closes a response body so connections are reused.
+func copyDiscard(resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	return io.Copy(io.Discard, resp.Body)
+}
+
+// Render returns the human-readable summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest %s: target=%s concurrency=%d", r.Name, r.Target, r.Concurrency)
+	if r.RateRPS > 0 {
+		fmt.Fprintf(&b, " rate=%.0f/s", r.RateRPS)
+	}
+	fmt.Fprintf(&b, " duration=%.1fs\n", float64(r.DurationMS)/1e3)
+	fmt.Fprintf(&b, "  requests: %d (%.0f req/s), errors: %d\n", r.Requests, r.ThroughputRPS, r.Errors)
+	codes := make([]string, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  status %s: %d\n", c, r.Status[c])
+	}
+	fmt.Fprintf(&b, "  latency: p50=%.2fms p90=%.2fms p99=%.2fms mean=%.2fms max=%.2fms\n",
+		r.P50MS, r.P90MS, r.P99MS, r.MeanMS, r.MaxMS)
+	return b.String()
+}
+
+// AppendJSON appends the report to the JSON array in path (created if
+// missing) and returns the full trajectory — the BENCH_serve.json format.
+func AppendJSON(path string, entry *Report) ([]Report, error) {
+	var entries []Report
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	entries = append(entries, *entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

@@ -54,6 +54,8 @@ func budgetName(a int64) string {
 		return "frontier"
 	case TruncNodes:
 		return "nodes"
+	case TruncDeadline:
+		return "deadline"
 	}
 	return "unknown"
 }

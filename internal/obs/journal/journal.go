@@ -105,6 +105,7 @@ const (
 	TruncSteps int64 = iota
 	TruncFrontier
 	TruncNodes
+	TruncDeadline
 )
 
 // Cache identities (KindCacheHit/KindCacheMiss.A).

@@ -111,6 +111,14 @@ func (rw *Rewriter) ExploreProvenance(p plan.Node, beam, depth int) (plan.Node, 
 	return rw.SearchProvenance(p, exploreOptions(beam, depth))
 }
 
+// ExploreOptions maps the §8.4 beam/depth parameterization onto Search
+// budgets — exactly the budgets Explore/ExploreWithStats use for the same
+// beam and depth. Callers that need an extra wall-clock bound (a serving
+// deadline) set Deadline on the result and call Search directly; the
+// node/frontier/step budgets stay identical, so an unexpired deadline
+// returns byte-identical results to ExploreWithStats.
+func ExploreOptions(beam, depth int) Options { return exploreOptions(beam, depth) }
+
 // exploreOptions maps the §8.4 beam/depth parameterization onto Search
 // budgets.
 func exploreOptions(beam, depth int) Options {

@@ -3,6 +3,7 @@ package rewrite
 import (
 	"math"
 	"sort"
+	"time"
 
 	"wetune/internal/obs"
 	"wetune/internal/obs/journal"
@@ -18,6 +19,13 @@ type Options struct {
 	MaxFrontier int
 	// MaxNodes bounds the total number of states expanded (default 512).
 	MaxNodes int
+	// Deadline, when non-zero, is a wall-clock budget checked before every
+	// expansion: a search past its deadline stops and returns the best plan
+	// found so far with Truncated set and TruncatedBy = "deadline". This is
+	// how a server's per-request deadline reaches into the search loop —
+	// the request never blocks on an unbounded frontier, it degrades to the
+	// best rewrite found in time.
+	Deadline time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -237,6 +245,8 @@ func truncCode(by string) int64 {
 		return journal.TruncSteps
 	case "frontier":
 		return journal.TruncFrontier
+	case "deadline":
+		return journal.TruncDeadline
 	}
 	return journal.TruncNodes
 }
@@ -298,6 +308,10 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 	}
 
 	for len(frontier) > 0 {
+		if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+			truncate("deadline")
+			break
+		}
 		if sc.stats.NodesExplored >= opts.MaxNodes {
 			truncate("nodes")
 			break

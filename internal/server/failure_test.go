@@ -1,0 +1,303 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wetune/internal/obs/journal"
+)
+
+// decodeError unwraps the uniform {"error": {...}} body.
+func decodeError(t *testing.T, body string) apiError {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("error body is not the uniform shape: %v\n%s", err, body)
+	}
+	return eb.Error
+}
+
+// TestOversizedBody413 checks the body-size limit: a request over
+// MaxBodyBytes answers 413 with code too_large, and the limit is the
+// configured one.
+func TestOversizedBody413(t *testing.T) {
+	s, _, _ := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 256 })
+	big := fmt.Sprintf(`{"sql": "SELECT id FROM labels WHERE title = '%s'"}`, strings.Repeat("x", 512))
+	rec := do(s, http.MethodPost, "/v1/rewrite", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeTooLarge {
+		t.Errorf("code = %q, want %q", e.Code, codeTooLarge)
+	}
+}
+
+// TestOversizedBatch413 checks the batch bound: more queries than MaxBatch
+// answers 413 without consuming a worker.
+func TestOversizedBatch413(t *testing.T) {
+	s, _, _ := newTestServer(t, func(c *Config) { c.MaxBatch = 4 })
+	var qs []string
+	for i := 0; i < 5; i++ {
+		qs = append(qs, `{"sql": "SELECT id FROM labels"}`)
+	}
+	body := fmt.Sprintf(`{"queries": [%s]}`, strings.Join(qs, ","))
+	rec := do(s, http.MethodPost, "/v1/rewrite", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeTooLarge {
+		t.Errorf("code = %q, want %q", e.Code, codeTooLarge)
+	}
+}
+
+// TestBadRequests400 sweeps the malformed-request space.
+func TestBadRequests400(t *testing.T) {
+	s, _, _ := newTestServer(t, nil)
+	cases := []struct {
+		name, body string
+		wantCode   string
+	}{
+		{"malformed JSON", `{"sql": `, codeBadRequest},
+		{"empty body", `{}`, codeBadRequest},
+		{"both sql and queries", `{"sql": "SELECT 1 FROM labels", "queries": [{"sql": "SELECT 1 FROM labels"}]}`, codeBadRequest},
+		{"unknown app", `{"sql": "SELECT id FROM labels", "app": "nope"}`, codeUnknownApp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(s, http.MethodPost, "/v1/rewrite", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body: %s", rec.Code, rec.Body)
+			}
+			if e := decodeError(t, rec.Body.String()); e.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", e.Code, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestUnparsableSQL422 checks the parse failure contract: 422, code
+// invalid_sql, and the parser's byte offset surfaced as "position".
+func TestUnparsableSQL422(t *testing.T) {
+	s, _, _ := newTestServer(t, nil)
+	rec := do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT FROM"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body: %s", rec.Code, rec.Body)
+	}
+	e := decodeError(t, rec.Body.String())
+	if e.Code != codeInvalidSQL {
+		t.Errorf("code = %q, want %q", e.Code, codeInvalidSQL)
+	}
+	if e.Position == nil {
+		t.Fatal("parse error lost its position")
+	}
+	if *e.Position != 7 { // "SELECT FROM": the select list is missing at offset 7
+		t.Errorf("position = %d, want 7", *e.Position)
+	}
+}
+
+// TestDeadlineDuringSearch504 checks deadline propagation into the search: a
+// request whose budget expires mid-rewrite answers 504 with the partial
+// result's Truncated stats attached — not an empty error.
+func TestDeadlineDuringSearch504(t *testing.T) {
+	s, _, _ := newTestServer(t, func(c *Config) {
+		c.beforeRewrite = func(string) { time.Sleep(20 * time.Millisecond) }
+	})
+	rec := do(s, http.MethodPost, "/v1/rewrite",
+		`{"sql": "SELECT DISTINCT id FROM labels", "timeout_ms": 5}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", rec.Code, rec.Body)
+	}
+	var res rewriteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated || res.Stats.TruncatedBy != "deadline" {
+		t.Errorf("stats = %+v, want Truncated by deadline", res.Stats)
+	}
+	if res.Output == "" {
+		t.Error("a deadline-truncated rewrite must still return the best SQL found")
+	}
+}
+
+// TestQueueWait504 checks the other 504 path: the deadline expires while the
+// request is queued behind busy workers (admitted, but never gets a slot).
+func TestQueueWait504(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	s, _, _ := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 4
+		c.beforeRewrite = func(string) { <-release }
+	})
+
+	// Occupy the single worker.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT id FROM labels"}`)
+	}()
+	<-started
+	waitBusy(t, s, 1)
+
+	// This request is admitted (queue has room) but can never run.
+	rec := do(s, http.MethodPost, "/v1/rewrite",
+		`{"sql": "SELECT id FROM labels", "timeout_ms": 10}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", rec.Code, rec.Body)
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeDeadlineExceeded {
+		t.Errorf("code = %q, want %q", e.Code, codeDeadlineExceeded)
+	}
+	once.Do(func() { close(release) })
+}
+
+// waitBusy polls until n requests hold worker slots (via the busy gauge the
+// admission gate maintains), so overload tests don't race request startup.
+func waitBusy(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.adm.inflight.Value() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("workers never became busy (inflight=%d, want >= %d)", s.adm.inflight.Value(), n)
+}
+
+// TestQueueFull429 checks admission control: with every worker busy and the
+// queue full, the next request answers 429 with Retry-After, the rejection
+// counter moves, and capacity recovers once the workers drain.
+func TestQueueFull429(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	s, reg, _ := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+		c.beforeRewrite = func(string) { <-release }
+	})
+
+	// Fill the worker slot and the queue slot: capacity = workers + queue = 2.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rec := do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT DISTINCT id FROM labels"}`)
+			results <- rec.Code
+		}()
+	}
+	// Steady state: one request holds the worker (inflight=1), one waits for
+	// it (queue_depth=1) — both admission slots are held.
+	deadline := time.Now().Add(5 * time.Second)
+	filled := func() bool {
+		return reg.Gauge("server_inflight").Value() >= 1 && reg.Gauge("server_queue_depth").Value() >= 1
+	}
+	for !filled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !filled() {
+		t.Fatalf("admission never filled: inflight=%d queued=%d",
+			reg.Gauge("server_inflight").Value(), reg.Gauge("server_queue_depth").Value())
+	}
+
+	// Admission is full: the next request must bounce immediately.
+	rec := do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT id FROM labels"}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeOverloaded {
+		t.Errorf("code = %q, want %q", e.Code, codeOverloaded)
+	}
+	if got := reg.Counter("server_admission_rejected").Value(); got != 1 {
+		t.Errorf("server_admission_rejected = %d, want 1", got)
+	}
+
+	// Release the workers; the held requests finish 200 and capacity returns.
+	once.Do(func() { close(release) })
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("held request answered %d, want 200", code)
+		}
+	}
+	rec = do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT id FROM labels"}`)
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-drain request answered %d, want 200", rec.Code)
+	}
+}
+
+// TestPanicIsolation checks the crash contract: a panicking handler answers
+// 500, increments server_panics, records a journal anomaly carrying the
+// panic value — and the server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	const poison = "SELECT id FROM labels WHERE title = 'poison'"
+	s, reg, jr := newTestServer(t, func(c *Config) {
+		c.beforeRewrite = func(sqlText string) {
+			if sqlText == poison {
+				panic("injected test panic")
+			}
+		}
+	})
+	body, _ := json.Marshal(map[string]string{"sql": poison})
+	rec := do(s, http.MethodPost, "/v1/rewrite", string(body))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body: %s", rec.Code, rec.Body)
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeInternal {
+		t.Errorf("code = %q, want %q", e.Code, codeInternal)
+	}
+	if got := reg.Counter("server_panics").Value(); got != 1 {
+		t.Errorf("server_panics = %d, want 1", got)
+	}
+	anomaly := lastAnomaly(jr)
+	if !strings.Contains(anomaly, "injected test panic") {
+		t.Errorf("journal anomaly %q does not carry the panic value", anomaly)
+	}
+	if got := reg.Counter("server_responses_5xx").Value(); got != 1 {
+		t.Errorf("server_responses_5xx = %d, want 1", got)
+	}
+
+	// The process survived: the very next request is served normally.
+	rec = do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT DISTINCT id FROM labels"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after panic answered %d, want 200", rec.Code)
+	}
+	if got := reg.Gauge("server_inflight").Value(); got != 0 {
+		t.Errorf("server_inflight leaked after panic: %d", got)
+	}
+}
+
+// lastAnomaly returns the reason of the newest anomaly event in the journal.
+func lastAnomaly(jr *journal.Journal) string {
+	events := jr.Snapshot()
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Kind == journal.KindAnomaly {
+			return jr.AnomalyReason(events[i].A)
+		}
+	}
+	return ""
+}
+
+// TestShutdownRefusesNewWork checks that once Shutdown begins, /v1 endpoints
+// answer 503 shutting_down.
+func TestShutdownRefusesNewWork(t *testing.T) {
+	s, _, _ := newTestServer(t, nil)
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT id FROM labels"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if e := decodeError(t, rec.Body.String()); e.Code != codeShuttingDown {
+		t.Errorf("code = %q, want %q", e.Code, codeShuttingDown)
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"wetune"
+)
+
+// rewriteQuery is one query of a rewrite/explain request. App selects the
+// schema ("" = the server's default app).
+type rewriteQuery struct {
+	SQL string `json:"sql"`
+	App string `json:"app,omitempty"`
+}
+
+// rewriteRequest is the /v1/rewrite body: exactly one of SQL (single) or
+// Queries (batch). TimeoutMS lowers — never raises — the server's
+// per-request timeout.
+type rewriteRequest struct {
+	SQL       string         `json:"sql,omitempty"`
+	App       string         `json:"app,omitempty"`
+	Queries   []rewriteQuery `json:"queries,omitempty"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+// rewriteResponse is the single-query answer: the app the query resolved to
+// plus the optimizer's full machine-readable result.
+type rewriteResponse struct {
+	App string `json:"app"`
+	*wetune.RewriteResult
+}
+
+// batchItem is one batch entry: a result or an error, never both.
+type batchItem struct {
+	App                   string    `json:"app,omitempty"`
+	*wetune.RewriteResult           // nil when Error is set
+	Error                 *apiError `json:"error,omitempty"`
+}
+
+// batchResponse is the batch answer, item i answering query i.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+// explainResponse is the /v1/explain answer.
+type explainResponse struct {
+	App string `json:"app"`
+	*wetune.ExplainResult
+}
+
+// statusWriter records the status code a handler sent, for the response
+// counters and for the panic path (headers already out → only log).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrumented wraps a handler with the per-request observability layer:
+// a per-endpoint latency histogram and request counter, response-class
+// counters, and panic isolation — a panicking handler answers 500 and
+// records a flight-recorder anomaly (with stack) instead of killing the
+// process.
+func (s *Server) instrumented(name string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.cfg.Registry
+	lat := reg.Histogram("server_latency_" + name)
+	reqs := reg.Counter("server_requests_" + name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				reg.Counter("server_panics").Inc()
+				s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in %s handler: %v\n%s", name, p, debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, apiError{
+						Code:    codeInternal,
+						Message: "internal error (panic recovered; see journal anomaly)",
+					})
+				}
+			}
+			lat.Observe(time.Since(start))
+			switch c := sw.status(); {
+			case c >= 500:
+				reg.Counter("server_responses_5xx").Inc()
+			case c >= 400:
+				reg.Counter("server_responses_4xx").Inc()
+			default:
+				reg.Counter("server_responses_2xx").Inc()
+			}
+		}()
+		h(sw, r)
+	}
+}
+
+// guarded layers the work-endpoint gates under instrumented: drain refusal
+// (503), in-flight registration (what Shutdown waits on), and the bounded
+// admission gate (429 + Retry-After when full).
+func (s *Server) guarded(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(name, func(w http.ResponseWriter, r *http.Request) {
+		if !s.register() {
+			writeError(w, http.StatusServiceUnavailable, apiError{
+				Code:    codeShuttingDown,
+				Message: "server is draining; not accepting new work",
+			})
+			return
+		}
+		defer s.inflight.Done()
+		if !s.adm.admit() {
+			writeOverloaded(w, 1)
+			return
+		}
+		defer s.adm.release()
+		h(w, r)
+	})
+}
+
+// decodeBody decodes the JSON body into v under the body-size limit,
+// answering 413 (too large) or 400 (malformed) itself; ok=false means the
+// response is already written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, apiError{
+				Code:    codeTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return false
+		}
+		writeError(w, http.StatusBadRequest, apiError{
+			Code:    codeBadRequest,
+			Message: "malformed JSON body: " + err.Error(),
+		})
+		return false
+	}
+	return true
+}
+
+// resolveApp maps a request's app name to its shared Optimizer.
+func (s *Server) resolveApp(app string) (string, *wetune.Optimizer, *apiError) {
+	if app == "" {
+		app = s.cfg.DefaultApp
+	}
+	if app == "" {
+		return "", nil, &apiError{
+			Code:    codeBadRequest,
+			Message: fmt.Sprintf("\"app\" is required (serving %d apps: %v)", len(s.apps), s.apps),
+		}
+	}
+	opt, okApp := s.opts[app]
+	if !okApp {
+		return "", nil, &apiError{
+			Code:    codeUnknownApp,
+			Message: fmt.Sprintf("unknown app %q (serving: %v)", app, s.apps),
+		}
+	}
+	return app, opt, nil
+}
+
+// requestContext derives the request's working context: the server timeout,
+// lowered by the request's timeout_ms when given, on top of the client
+// context (so a dropped connection cancels queue waits too).
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// handleRewrite is POST /v1/rewrite: single {"sql": ...} or batch
+// {"queries": [...]}. The whole request — queue wait included — runs under
+// one deadline that propagates into each rewrite search as a budget.
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	single := req.SQL != ""
+	if single == (len(req.Queries) > 0) {
+		writeError(w, http.StatusBadRequest, apiError{
+			Code:    codeBadRequest,
+			Message: "exactly one of \"sql\" or \"queries\" is required",
+		})
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, apiError{
+			Code:    codeTooLarge,
+			Message: fmt.Sprintf("batch of %d queries exceeds the %d-query limit", len(req.Queries), s.cfg.MaxBatch),
+		})
+		return
+	}
+	queries := req.Queries
+	if single {
+		queries = []rewriteQuery{{SQL: req.SQL, App: req.App}}
+	}
+	// Resolve every app before taking a worker: an unknown app must not
+	// cost a queue wait.
+	type resolved struct {
+		app string
+		opt *wetune.Optimizer
+		err *apiError
+	}
+	rq := make([]resolved, len(queries))
+	for i, q := range queries {
+		rq[i].app, rq[i].opt, rq[i].err = s.resolveApp(q.App)
+		if single && rq[i].err != nil {
+			writeError(w, http.StatusBadRequest, *rq[i].err)
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.adm.acquireWorker(ctx); err != nil {
+		writeError(w, http.StatusGatewayTimeout, apiError{
+			Code:    codeDeadlineExceeded,
+			Message: "request deadline expired while waiting for a worker",
+		})
+		return
+	}
+	defer s.adm.releaseWorker()
+
+	if single {
+		q := queries[0]
+		if s.cfg.beforeRewrite != nil {
+			s.cfg.beforeRewrite(q.SQL)
+		}
+		res, err := rq[0].opt.OptimizeSQLResultContext(ctx, q.SQL)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, sqlErr(err))
+			return
+		}
+		status := http.StatusOK
+		if res.Stats.TruncatedBy == "deadline" {
+			// The deadline cut the search: the result is still correct SQL
+			// (the best plan found in time) but the contract is explicit —
+			// 504, with the Truncated stats attached.
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, rewriteResponse{App: rq[0].app, RewriteResult: res})
+		return
+	}
+
+	// Batch: items run sequentially inside this one worker slot, sharing the
+	// request deadline. Per-item failures (bad app, bad SQL, deadline spent)
+	// are reported in place; the batch itself answers 200 — partial results
+	// are the point of batching.
+	out := batchResponse{Results: make([]batchItem, len(queries))}
+	for i, q := range queries {
+		if rq[i].err != nil {
+			out.Results[i] = batchItem{App: q.App, Error: rq[i].err}
+			out.Errors++
+			continue
+		}
+		if ctx.Err() != nil {
+			out.Results[i] = batchItem{App: rq[i].app, Error: &apiError{
+				Code:    codeDeadlineExceeded,
+				Message: "request deadline expired before this query ran",
+			}}
+			out.Errors++
+			continue
+		}
+		if s.cfg.beforeRewrite != nil {
+			s.cfg.beforeRewrite(q.SQL)
+		}
+		res, err := rq[i].opt.OptimizeSQLResultContext(ctx, q.SQL)
+		if err != nil {
+			out.Results[i] = batchItem{App: rq[i].app, Error: ptr(sqlErr(err))}
+			out.Errors++
+			continue
+		}
+		out.Results[i] = batchItem{App: rq[i].app, RewriteResult: res}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain is POST /v1/explain: one query's full derivation record via
+// Optimizer.ExplainSQL. Explain always runs a real bounded search (it never
+// reads the result cache), so its latency is the uncached rewrite latency
+// plus provenance recording.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" || len(req.Queries) > 0 {
+		writeError(w, http.StatusBadRequest, apiError{
+			Code:    codeBadRequest,
+			Message: "\"sql\" is required (explain takes a single query)",
+		})
+		return
+	}
+	app, opt, aerr := s.resolveApp(req.App)
+	if aerr != nil {
+		writeError(w, http.StatusBadRequest, *aerr)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.adm.acquireWorker(ctx); err != nil {
+		writeError(w, http.StatusGatewayTimeout, apiError{
+			Code:    codeDeadlineExceeded,
+			Message: "request deadline expired while waiting for a worker",
+		})
+		return
+	}
+	defer s.adm.releaseWorker()
+	if s.cfg.beforeRewrite != nil {
+		s.cfg.beforeRewrite(req.SQL)
+	}
+	res, err := opt.ExplainSQL(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, sqlErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{App: app, ExplainResult: res})
+}
+
+// ruleInfo is one served rule in /v1/rules.
+type ruleInfo struct {
+	No          int    `json:"no"`
+	Name        string `json:"name"`
+	Source      string `json:"source"`
+	Destination string `json:"destination"`
+	Constraints string `json:"constraints"`
+	Verifier    string `json:"verifier,omitempty"`
+}
+
+// rulesResponse is the /v1/rules answer: the served apps and rule library.
+type rulesResponse struct {
+	Apps       []string   `json:"apps"`
+	DefaultApp string     `json:"default_app,omitempty"`
+	Rules      []ruleInfo `json:"rules"`
+}
+
+// handleRules is GET /v1/rules.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	out := rulesResponse{Apps: s.apps, DefaultApp: s.cfg.DefaultApp}
+	for _, rl := range s.cfg.Rules {
+		out.Rules = append(out.Rules, ruleInfo{
+			No:          rl.No,
+			Name:        rl.Name,
+			Source:      rl.Src.String(),
+			Destination: rl.Dest.String(),
+			Constraints: rl.Constraints.String(),
+			Verifier:    rl.Verifier,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is GET /healthz: liveness, true while the process answers.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is GET /readyz: readiness; 503 once shutdown begins, so load
+// balancers stop routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wetune/internal/workload"
+)
+
+// TestSoakConcurrentLoad is the -race soak: many goroutines hammer a real
+// HTTP listener with the rewrite corpus through the admission gate. The
+// contract under load: zero 5xx (backpressure is 429, never collapse), obs
+// counters stay monotone while sampled concurrently, and the admission
+// gauges return to zero at rest.
+func TestSoakConcurrentLoad(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 40
+	)
+	s, reg, _ := newTestServer(t, func(c *Config) {
+		c.Workers = 4
+		c.QueueDepth = 8
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, items := workload.RewriteCorpus(5)
+	bodies := make([][]byte, 0, len(items))
+	for _, it := range items {
+		// The soak server serves only the demo schema; rewrite corpus SQL
+		// against it still exercises the full request path (resolve, parse,
+		// search or 4xx) — the soak asserts robustness, not plannability.
+		b, err := json.Marshal(map[string]string{"sql": it.SQL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+
+	var (
+		status [6]atomic.Int64 // status class histogram: status/100
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	client := ts.Client()
+	// One sampler goroutine verifies counter monotonicity while writers run.
+	samplerDone := make(chan struct{})
+	var monotonic atomic.Bool
+	monotonic.Store(true)
+	go func() {
+		defer close(samplerDone)
+		var lastReqs, last2xx, last4xx int64
+		for i := 0; i < 200; i++ {
+			r := reg.Counter("server_requests_rewrite").Value()
+			a := reg.Counter("server_responses_2xx").Value()
+			b := reg.Counter("server_responses_4xx").Value()
+			if r < lastReqs || a < last2xx || b < last4xx {
+				monotonic.Store(false)
+				return
+			}
+			lastReqs, last2xx, last4xx = r, a, b
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				body := bodies[int(next.Add(1)-1)%len(bodies)]
+				resp, err := client.Post(ts.URL+"/v1/rewrite", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("transport error under load: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				status[resp.StatusCode/100].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	<-samplerDone
+
+	total := int64(0)
+	for i := range status {
+		total += status[i].Load()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Errorf("requests answered = %d, want %d", total, want)
+	}
+	if got := status[5].Load(); got != 0 {
+		t.Errorf("5xx under load = %d, want 0 (backpressure must be 429, not collapse)", got)
+	}
+	if status[2].Load() == 0 {
+		t.Error("no 2xx at all; the soak exercised nothing")
+	}
+	if !monotonic.Load() {
+		t.Error("obs counters moved backwards under concurrent sampling")
+	}
+	if got := reg.Gauge("server_inflight").Value(); got != 0 {
+		t.Errorf("server_inflight at rest = %d, want 0", got)
+	}
+	if got := reg.Gauge("server_queue_depth").Value(); got != 0 {
+		t.Errorf("server_queue_depth at rest = %d, want 0", got)
+	}
+	if got := reg.Counter("server_panics").Value(); got != 0 {
+		t.Errorf("server_panics = %d, want 0", got)
+	}
+	t.Logf("soak: %d requests, 2xx=%d 4xx=%d 429-in-4xx, rejected=%d",
+		total, status[2].Load(), status[4].Load(),
+		reg.Counter("server_admission_rejected").Value())
+}
+
+// TestGracefulDrain is the shutdown contract over a real listener: a slow
+// in-flight request completes with 200 while Shutdown waits for it; once the
+// drain starts, readiness fails and late requests are refused (503 from the
+// handler or connection-refused from the closed listener) — never dropped
+// mid-flight.
+func TestGracefulDrain(t *testing.T) {
+	slowStarted := make(chan struct{})
+	release := make(chan struct{})
+	s, _, _ := newTestServer(t, func(c *Config) {
+		c.beforeRewrite = func(sqlText string) {
+			if sqlText == "SELECT DISTINCT id FROM labels" {
+				close(slowStarted)
+				<-release
+			}
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Launch the slow request; it holds a worker until released.
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := client.Post(ts.URL+"/v1/rewrite", "application/json",
+			bytes.NewReader([]byte(`{"sql": "SELECT DISTINCT id FROM labels"}`)))
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	<-slowStarted
+
+	// Begin the drain while the slow request is in flight.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Readiness must fail promptly once the drain flag flips.
+	waitFor(t, func() bool {
+		resp, err := client.Get(ts.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusServiceUnavailable
+	}, "readyz never flipped to 503")
+
+	// A late request is refused, not queued behind the drain.
+	resp, err := client.Post(ts.URL+"/v1/rewrite", "application/json",
+		bytes.NewReader([]byte(`{"sql": "SELECT id FROM labels"}`)))
+	if err == nil {
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("late request answered %d, want 503; body: %s", resp.StatusCode, body)
+		}
+	}
+	// err != nil (connection refused) is equally acceptable once the listener
+	// closes — the load balancer already saw readyz fail.
+
+	// Shutdown must still be waiting on the in-flight request.
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned (%v) before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the slow request: it must complete 200, and Shutdown must then
+	// return cleanly.
+	close(release)
+	if code := <-slowDone; code != http.StatusOK {
+		t.Errorf("in-flight request during drain answered %d, want 200", code)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown = %v, want nil after a clean drain", err)
+	}
+}
+
+// TestDrainWithRealListener drives Serve/Shutdown over a private TCP
+// listener (not httptest), covering the daemon's own listener wiring: Addr
+// reports the bound address, requests are served, and after Shutdown the
+// port actually refuses connections.
+func TestDrainWithRealListener(t *testing.T) {
+	s, _, _ := newTestServer(t, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+
+	addr := ln.Addr().String()
+	waitFor(t, func() bool { return s.Addr() == addr }, "Addr never reported the bound address")
+	url := "http://" + addr
+
+	resp, err := http.Post(url+"/v1/rewrite", "application/json",
+		bytes.NewReader([]byte(`{"sql": "SELECT DISTINCT id FROM labels"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after graceful Shutdown, want nil", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Error("port still accepting connections after Shutdown")
+	}
+}
+
+// TestShutdownExpiredContext checks the drain's own deadline: with a worker
+// stuck forever, Shutdown gives up when its context expires and reports it.
+func TestShutdownExpiredContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, _, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = time.Minute // the request outlives the drain budget
+		c.beforeRewrite = func(string) { <-release }
+	})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		do(s, http.MethodPost, "/v1/rewrite", `{"sql": "SELECT id FROM labels"}`)
+	}()
+	<-started
+	waitBusy(t, s, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// waitFor polls cond until it holds or the wait budget expires.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -65,8 +65,21 @@ func (p *parser) expect(kind tokenKind, text string) (token, error) {
 	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
 }
 
+// ParseError is a typed parse failure: Offset is the byte offset of the
+// token the parser stopped at, so callers (the HTTP server's 422 mapping,
+// editors) can point at the position without scraping the message. Error()
+// keeps the historical "sql: parse error at offset N: msg" format.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return &ParseError{Offset: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // parseSelectCompound handles UNION chains (left-associative).

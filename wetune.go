@@ -171,6 +171,19 @@ func (o *Optimizer) OptimizeSQL(query string) (rewritten string, applied []Appli
 // chain, cost before and after, and search stats. When the result cache is
 // enabled (EnableResultCache) results are keyed by the query text.
 func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
+	return o.OptimizeSQLResultContext(context.Background(), query)
+}
+
+// OptimizeSQLResultContext is OptimizeSQLResult honoring the context's
+// deadline: the search checks the deadline before every expansion and, past
+// it, returns the best plan found so far with Stats.Truncated set and
+// Stats.TruncatedBy = "deadline" (never an error — a timed-out rewrite
+// degrades to the input or a partial improvement, both of which are correct
+// SQL). With no deadline, or one that never fires mid-search, the result is
+// byte-identical to OptimizeSQLResult: the node/frontier/step budgets are
+// the same. Deadline-truncated results are never stored in the result cache
+// — a slow client's partial answer must not be replayed to a patient one.
+func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) (*RewriteResult, error) {
 	if o.cache != nil {
 		if hit, ok := o.cache.Get(query); ok {
 			return &RewriteResult{
@@ -188,7 +201,11 @@ func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, applied, stats := o.rw.ExploreWithStats(p, 12, 6)
+	opts := rewrite.ExploreOptions(12, 6)
+	if dl, ok := ctx.Deadline(); ok {
+		opts.Deadline = dl
+	}
+	out, applied, stats := o.rw.Search(p, opts)
 	res := &RewriteResult{
 		Input:      query,
 		Output:     plan.ToSQLString(out),
@@ -197,7 +214,7 @@ func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
 		CostAfter:  stats.FinalCost,
 		Stats:      stats,
 	}
-	if o.cache != nil {
+	if o.cache != nil && stats.TruncatedBy != "deadline" {
 		o.cache.Put(query, rewrite.CachedResult{
 			SQL:        res.Output,
 			Applied:    res.Applied,
