@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	"wetune/internal/loadgen"
@@ -30,12 +31,26 @@ func cmdLoadtest(args []string) int {
 	asJSON := fs.Bool("json", false, "print the report as JSON and append it to -out")
 	name := fs.String("name", "run", "label recorded with the measurement")
 	out := fs.String("out", "BENCH_serve.json", "trajectory file used by -json")
+	profile := fs.String("profile", "", "capture a pprof profile during the run: \"cpu\" or \"alloc\" (most useful with -inprocess, where server work runs in this process)")
+	profileOut := fs.String("profile-out", "", "profile output path (default <profile>.pprof)")
+	compare := fs.String("compare", "", "print a before/after delta against the last entry of this BENCH_serve.json-format file")
 	of := addObsFlags(fs)
 	if fs.Parse(args) != nil {
 		return exitUsage
 	}
 	finish := of.start()
 	defer finish()
+
+	switch *profile {
+	case "", "cpu", "alloc":
+	default:
+		fmt.Fprintf(os.Stderr, "loadtest: -profile must be \"cpu\" or \"alloc\", got %q\n", *profile)
+		return exitUsage
+	}
+	profPath := *profileOut
+	if profPath == "" && *profile != "" {
+		profPath = *profile + ".pprof"
+	}
 
 	opts := loadgen.Options{
 		Concurrency: *conc,
@@ -61,12 +76,65 @@ func cmdLoadtest(args []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *profile == "cpu" {
+		f, err := os.Create(profPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "loadtest: cpu profile written to %s\n", profPath)
+		}()
+	}
+
+	// Read the comparison baseline before the run: -compare and -out may
+	// name the same trajectory file, and the baseline must be the last entry
+	// as of before this run's append.
+	var comparePrev *loadgen.Report
+	if *compare != "" {
+		prev, err := loadgen.ReadTrajectory(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		if len(prev) == 0 {
+			fmt.Fprintf(os.Stderr, "loadtest: %s holds no entries to compare against\n", *compare)
+			return exitError
+		}
+		comparePrev = &prev[len(prev)-1]
+	}
+
 	rep, err := loadgen.Run(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadtest:", err)
 		return exitError
 	}
 	rep.Name = *name
+
+	if *profile == "alloc" {
+		f, err := os.Create(profPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		// The "allocs" profile reports cumulative allocation since process
+		// start — dominated by the run that just finished.
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return exitError
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "loadtest: alloc profile written to %s\n", profPath)
+	}
 
 	if *asJSON {
 		if _, err := loadgen.AppendJSON(*out, rep); err != nil {
@@ -81,6 +149,9 @@ func cmdLoadtest(args []string) int {
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(rep.Render())
+	}
+	if comparePrev != nil {
+		fmt.Print(loadgen.Compare(comparePrev, rep))
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadtest: %d errors (transport failures or 5xx)\n", rep.Errors)

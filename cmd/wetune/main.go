@@ -35,25 +35,34 @@
 //	                                            tree, and the per-rule why-not funnel; the
 //	                                            applied chain and costs match wetune rewrite
 //	wetune serve [-addr :8080] [-workers N] [-queue N] [-timeout 10s]
-//	             [-max-body N] [-result-cache N]
+//	             [-max-body N] [-result-cache N] [-plan-cache N] [-cache-shards N]
 //	                                            run the rewrite-as-a-service daemon over the
 //	                                            demo schema plus every workload app schema:
 //	                                            POST /v1/rewrite, POST /v1/explain,
 //	                                            GET /v1/rules, GET /healthz, GET /readyz;
 //	                                            bounded admission (429 on overload), graceful
-//	                                            drain on SIGINT/SIGTERM
+//	                                            drain on SIGINT/SIGTERM; batch rewrites fan
+//	                                            out across the worker pool; -plan-cache sizes
+//	                                            the second cache tier (normalized SQL → plan)
 //	wetune loadtest [-addr URL | -inprocess] [-c N] [-d 5s] [-rate R] [-n N]
 //	                [-per-app N] [-timeout 5s] [-json] [-name NAME] [-out FILE]
+//	                [-profile cpu|alloc] [-profile-out FILE] [-compare FILE]
 //	                                            drive a server (or an in-process handler)
 //	                                            over the fixed rewrite corpus and report
 //	                                            throughput, p50/p90/p99 latency and error
 //	                                            counts; -json appends the entry to -out
-//	                                            (default BENCH_serve.json); exits 1 when the
-//	                                            run saw transport errors or 5xx responses
+//	                                            (default BENCH_serve.json); -profile captures
+//	                                            a pprof profile during the run; -compare
+//	                                            prints the delta against the last entry of a
+//	                                            prior trajectory file; exits 1 when the run
+//	                                            saw transport errors or 5xx responses
 //	wetune report rules [-json] [-per-app N]    run the fixed rewrite workload and report
 //	                                            per-rule effectiveness: fire/win/no-op
 //	                                            counts, cost-delta histograms, and the
 //	                                            dead-rule list
+//	wetune report serve -metrics FILE [-json]   render the serving-side view of a metrics
+//	                                            registry dump (responses, admission, both
+//	                                            cache tiers, batch fan-out, latency)
 //	wetune bench [experiment]                   regenerate evaluation artifacts
 //	                                            (table1 study50 discovery table7 apps
 //	                                             calcite latency casestudy verifiers
@@ -495,11 +504,15 @@ func cmdExplain(args []string) int {
 	return exitOK
 }
 
-// cmdReport renders workload-level analytics; "rules" is the only report so
-// far: per-rule effectiveness over the fixed rewrite corpus.
+// cmdReport renders workload-level analytics: "rules" (per-rule
+// effectiveness over the fixed rewrite corpus) or "serve" (the serving-side
+// view of a metrics registry dump).
 func cmdReport(args []string) int {
+	if len(args) >= 1 && args[0] == "serve" {
+		return cmdReportServe(args[1:])
+	}
 	if len(args) < 1 || args[0] != "rules" {
-		fmt.Fprintln(os.Stderr, "usage: wetune report rules [-json] [-per-app N] [-metrics FILE] [-journal FILE]")
+		fmt.Fprintln(os.Stderr, "usage: wetune report <rules [-json] [-per-app N] | serve -metrics FILE [-json]>")
 		return exitUsage
 	}
 	fs := newFlagSet("report rules")

@@ -35,6 +35,8 @@ func cmdServe(args []string) int {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline, queue wait included; propagates into the rewrite search budget")
 	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes (413 beyond)")
 	resultCache := fs.Int("result-cache", 0, "per-app query→result LRU size (0 = default, negative disables)")
+	planCache := fs.Int("plan-cache", 0, "per-app normalized-SQL→plan LRU size, the second cache tier (0 = default, negative disables)")
+	cacheShards := fs.Int("cache-shards", 0, "shard count for both cache tiers (0 = scaled to GOMAXPROCS; rounded up to a power of two)")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
 	of := addObsFlags(fs)
 	if fs.Parse(args) != nil {
@@ -51,6 +53,8 @@ func cmdServe(args []string) int {
 		RequestTimeout:  *timeout,
 		MaxBodyBytes:    *maxBody,
 		ResultCacheSize: *resultCache,
+		PlanCacheSize:   *planCache,
+		CacheShards:     *cacheShards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

@@ -312,6 +312,46 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
+// ReadTrajectory reads a BENCH_serve.json-format trajectory file.
+func ReadTrajectory(path string) ([]Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Report
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// Compare renders the before→after delta between two runs: throughput and
+// latency quantiles with the improvement factor (positive = cur is better).
+func Compare(prev, cur *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compare %s (baseline) -> %s\n", prev.Name, cur.Name)
+	line := func(label string, pv, cv float64, higherBetter bool) {
+		if pv == 0 {
+			fmt.Fprintf(&b, "  %-12s %10.2f -> %10.2f\n", label, pv, cv)
+			return
+		}
+		factor := cv / pv
+		if !higherBetter && cv != 0 {
+			factor = pv / cv
+		}
+		pct := (cv - pv) / pv * 100
+		fmt.Fprintf(&b, "  %-12s %10.2f -> %10.2f  (%+.1f%%, %.2fx %s)\n",
+			label, pv, cv, pct, factor, map[bool]string{true: "throughput", false: "speedup"}[higherBetter])
+	}
+	line("req/s", prev.ThroughputRPS, cur.ThroughputRPS, true)
+	line("p50 ms", prev.P50MS, cur.P50MS, false)
+	line("p90 ms", prev.P90MS, cur.P90MS, false)
+	line("p99 ms", prev.P99MS, cur.P99MS, false)
+	line("mean ms", prev.MeanMS, cur.MeanMS, false)
+	fmt.Fprintf(&b, "  %-12s %10d -> %10d\n", "errors", prev.Errors, cur.Errors)
+	return b.String()
+}
+
 // AppendJSON appends the report to the JSON array in path (created if
 // missing) and returns the full trajectory — the BENCH_serve.json format.
 func AppendJSON(path string, entry *Report) ([]Report, error) {

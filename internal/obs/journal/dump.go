@@ -61,8 +61,11 @@ func budgetName(a int64) string {
 }
 
 func cacheName(a int64) string {
-	if a == CacheResult {
+	switch a {
+	case CacheResult:
 		return "result"
+	case CachePlan:
+		return "plan"
 	}
 	return "proof"
 }
@@ -97,6 +100,9 @@ func (j *Journal) render(ev Event) line {
 		l.Cache = cacheName(ev.A)
 	case KindAnomaly:
 		l.Anomaly = j.AnomalyReason(ev.A)
+	case KindBatchItem:
+		l.DurNS = &ev.A
+		l.Count = &ev.B
 	}
 	return l
 }

@@ -63,6 +63,10 @@ const (
 	// KindAnomaly: an instrumented subsystem flagged an anomaly.
 	// A = index into the journal's anomaly-reason table.
 	KindAnomaly
+	// KindBatchItem: one item of a batch rewrite request got a worker.
+	// A = queue wait in nanoseconds (admission to worker token), B = item
+	// index within the batch.
+	KindBatchItem
 )
 
 // String returns the snake_case kind name used in the JSONL dump.
@@ -90,6 +94,8 @@ func (k Kind) String() string {
 		return "cache_miss"
 	case KindAnomaly:
 		return "anomaly"
+	case KindBatchItem:
+		return "batch_item"
 	}
 	return "unknown"
 }
@@ -112,6 +118,7 @@ const (
 const (
 	CacheProof  int64 = iota // pipeline proof cache (verifier verdicts)
 	CacheResult              // optimizer query→result cache
+	CachePlan                // optimizer normalized-SQL→parsed-plan cache
 )
 
 // Event is one decoded journal entry. Seq orders events globally (it is the

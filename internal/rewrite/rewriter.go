@@ -23,6 +23,10 @@ type Candidate struct {
 	Plan plan.Node
 	Rule rules.Rule
 	Path []int
+
+	// fp is the derived plan's fingerprint, computed once at generation so
+	// the search memo does not fingerprint the same plan twice.
+	fp string
 }
 
 // Rewriter drives WeTune's rewrite engine (§6): rules are compiled once into
@@ -64,11 +68,14 @@ func (rw *Rewriter) ruleIndex() *RuleIndex {
 // source template cannot match at a node; attempts and matches land in the
 // default metrics registry (rewrite_rule_attempts / rewrite_rule_matches).
 func (rw *Rewriter) Candidates(p plan.Node) []Candidate {
+	scratch := searchScratchPool.Get().(*searchScratch)
+	defer scratch.release()
 	sc := &searchCtx{
 		rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema},
-		jr: journal.Default(),
+		jr: journal.Default(), scratch: scratch,
 	}
-	out := sc.expand(p, 0, 0)
+	// The expand output lives in pooled scratch; copy it out for the caller.
+	out := append([]Candidate(nil), sc.expand(p, plan.Fingerprint(p), 0, 0)...)
 	sc.flushObs()
 	return out
 }

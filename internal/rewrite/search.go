@@ -3,6 +3,7 @@ package rewrite
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"wetune/internal/obs"
@@ -26,6 +27,14 @@ type Options struct {
 	// the request never blocks on an unbounded frontier, it degrades to the
 	// best rewrite found in time.
 	Deadline time.Time
+	// SkipOrderByElim declares that the input plan has already been through
+	// EliminateOrderBy and must be used as the start state directly. This is
+	// the plan-cache path: elimination mutates ORDER-BY clauses inside
+	// predicate subqueries, so a cached plan runs it exactly once — at cache
+	// fill — and every subsequent search over the shared plan must not.
+	// Because elimination is idempotent, results are byte-identical to a
+	// fresh parse either way.
+	SkipOrderByElim bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +90,7 @@ type Stats struct {
 // that produced it.
 type state struct {
 	plan  plan.Node
+	fp    string // plan fingerprint (computed once, reused by the memo)
 	path  []Applied
 	size  int
 	cost  float64
@@ -101,17 +111,63 @@ func rankLess(a, b *state) bool {
 	return a.seq < b.seq
 }
 
+// rankedCand is one expand output with its rank, in the scratch buffer the
+// candidate sort reuses across expansions.
+type rankedCand struct {
+	c    Candidate
+	size int
+	cost float64
+}
+
+// searchScratch is the allocation pool unit of one search: the visited memo,
+// the frontier backing array, the candidate and rank buffers and the
+// node-path arena all live here and are recycled via searchScratchPool, so a
+// steady-state search allocates only what escapes into its result (the plan,
+// the applied chain, fingerprint strings).
+type searchScratch struct {
+	seen     map[string]bool
+	frontier []*state
+	ranked   []rankedCand
+	cands    []Candidate
+	paths    [][]int
+	pathBuf  []int // current recursion prefix for nodePathsInto
+	arena    []int // backing storage for the per-expand path slices
+}
+
+var searchScratchPool = sync.Pool{
+	New: func() any {
+		return &searchScratch{seen: make(map[string]bool, 64)}
+	},
+}
+
+// release clears everything that references plans (so pooled scratch never
+// retains a query's tree) and returns the scratch to the pool.
+func (s *searchScratch) release() {
+	clear(s.seen)
+	clear(s.frontier)
+	s.frontier = s.frontier[:0]
+	clear(s.ranked)
+	s.ranked = s.ranked[:0]
+	clear(s.cands)
+	s.cands = s.cands[:0]
+	s.paths = s.paths[:0]
+	s.pathBuf = s.pathBuf[:0]
+	s.arena = s.arena[:0]
+	searchScratchPool.Put(s)
+}
+
 // searchCtx is the per-call scratch of one Search: matcher, stats, memo,
 // frontier, flight-recorder handle and the optional provenance record all
 // live here, never on the shared Rewriter, so one Rewriter can serve
 // concurrent searches.
 type searchCtx struct {
-	rw    *Rewriter
-	idx   *RuleIndex
-	m     *Matcher
-	stats Stats
-	jr    *journal.Journal
-	prov  *Provenance
+	rw      *Rewriter
+	idx     *RuleIndex
+	m       *Matcher
+	stats   Stats
+	jr      *journal.Journal
+	prov    *Provenance
+	scratch *searchScratch
 	// bucketRules caches, per plan kind, the rule numbers the index keeps for
 	// that kind (provenance-only: attributes index pruning to specific rules).
 	bucketRules map[plan.Kind]map[int]bool
@@ -138,16 +194,40 @@ func (sc *searchCtx) inBucket(kind plan.Kind) map[int]bool {
 	return m
 }
 
-// expand generates every single-step rewrite of the plan of node fromID, in
+// nodePathsInto fills sc.scratch.paths with every root-to-node child-index
+// path of p in pre-order, the order nodePaths produced. Path storage comes
+// from the scratch arena; the slices are only valid until the next expand,
+// which is fine — everything that escapes (Candidate.Path, provenance) is
+// copied.
+func (sc *searchCtx) nodePathsInto(p plan.Node) [][]int {
+	s := sc.scratch
+	s.paths = s.paths[:0]
+	s.arena = s.arena[:0]
+	var rec func(n plan.Node)
+	rec = func(n plan.Node) {
+		n0 := len(s.arena)
+		s.arena = append(s.arena, s.pathBuf...)
+		s.paths = append(s.paths, s.arena[n0:len(s.arena):len(s.arena)])
+		for i, c := range n.Children() {
+			s.pathBuf = append(s.pathBuf, i)
+			rec(c)
+			s.pathBuf = s.pathBuf[:len(s.pathBuf)-1]
+		}
+	}
+	rec(p)
+	return s.paths
+}
+
+// expand generates every single-step rewrite of the plan of node st, in
 // deterministic (position, rule) order, consulting the rule index at each
 // position. Aggregate prune counts, matcher attempts and matches land in the
 // flight recorder; per-rule attribution lands in the provenance record when
-// one is attached.
-func (sc *searchCtx) expand(p plan.Node, fromID, depth int) []Candidate {
-	fpP := plan.Fingerprint(p)
-	var out []Candidate
+// one is attached. The returned slice is scratch — consumed before the next
+// expand call.
+func (sc *searchCtx) expand(p plan.Node, fpP string, fromID, depth int) []Candidate {
+	out := sc.scratch.cands[:0]
 	var idxPruned, shapePruned int64
-	for _, path := range nodePaths(p) {
+	for _, path := range sc.nodePathsInto(p) {
 		frag := nodeAt(p, path)
 		kind := frag.Kind()
 		kindGroups, anyGroups := sc.idx.groupsFor(kind)
@@ -182,7 +262,8 @@ func (sc *searchCtx) expand(p plan.Node, fromID, depth int) []Candidate {
 					sc.stats.RuleMatches++
 					sc.jr.Record(journal.KindRuleMatch, int32(cr.Rule.No), journal.PackPath(path), 0)
 					np := replaceAt(p, path, repl)
-					if plan.Fingerprint(np) == fpP {
+					fpNP := plan.Fingerprint(np)
+					if fpNP == fpP {
 						// no-op application
 						if sc.prov != nil {
 							sc.prov.rule(cr.Rule.No).NoOps++
@@ -210,11 +291,13 @@ func (sc *searchCtx) expand(p plan.Node, fromID, depth int) []Candidate {
 						Plan: np,
 						Rule: cr.Rule,
 						Path: append([]int{}, path...),
+						fp:   fpNP,
 					})
 				}
 			}
 		}
 	}
+	sc.scratch.cands = out
 	sc.stats.IndexPruned += idxPruned
 	sc.stats.ShapePruned += shapePruned
 	sc.stats.CandidatesSeen += len(out)
@@ -276,13 +359,18 @@ func (rw *Rewriter) SearchProvenance(p plan.Node, opts Options) (plan.Node, []Ap
 
 func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (plan.Node, []Applied, Stats, *Provenance) {
 	opts = opts.withDefaults()
+	scratch := searchScratchPool.Get().(*searchScratch)
+	defer scratch.release()
 	sc := &searchCtx{
 		rw: rw, idx: rw.ruleIndex(), m: &Matcher{Schema: rw.Schema},
-		jr: journal.Default(), prov: prov,
+		jr: journal.Default(), prov: prov, scratch: scratch,
 	}
 
-	start := EliminateOrderBy(p)
-	first := &state{plan: start, size: plan.Size(start), cost: rw.cost(start)}
+	start := p
+	if !opts.SkipOrderByElim {
+		start = EliminateOrderBy(p)
+	}
+	first := &state{plan: start, fp: plan.Fingerprint(start), size: plan.Size(start), cost: rw.cost(start)}
 	sc.stats.InitialSize = first.size
 	sc.stats.InitialCost = first.cost
 	if prov != nil {
@@ -294,8 +382,13 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 		})
 	}
 
-	seen := map[string]bool{plan.Fingerprint(start): true}
-	frontier := []*state{first}
+	seen := scratch.seen
+	seen[first.fp] = true
+	// The frontier lives in the pooled backing array; head indexes the next
+	// state to pop (popping must not re-slice away the array's start, or the
+	// pool would shrink every search).
+	frontier := append(scratch.frontier, first)
+	head := 0
 	best := first
 	seq := 1
 
@@ -307,7 +400,7 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 		}
 	}
 
-	for len(frontier) > 0 {
+	for head < len(frontier) {
 		if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
 			truncate("deadline")
 			break
@@ -316,8 +409,9 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 			truncate("nodes")
 			break
 		}
-		st := frontier[0]
-		frontier = frontier[1:]
+		st := frontier[head]
+		frontier[head] = nil
+		head++
 		if st.depth >= opts.MaxSteps {
 			// Conservative: the state might have had no candidates, but the
 			// step budget stopped us from finding out.
@@ -332,19 +426,15 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 			prov.Nodes[st.id].Fate = FateExpanded
 		}
 
-		cands := sc.expand(st.plan, st.id, st.depth)
+		cands := sc.expand(st.plan, st.fp, st.id, st.depth)
 		// Deterministic tie-break: candidates of equal (size, cost) enter the
 		// frontier — and thus become the incumbent best — in (rule number,
 		// position) order, regardless of rule-set ordering.
-		type ranked struct {
-			c    Candidate
-			size int
-			cost float64
+		rs := scratch.ranked[:0]
+		for _, c := range cands {
+			rs = append(rs, rankedCand{c: c, size: plan.Size(c.Plan), cost: rw.cost(c.Plan)})
 		}
-		rs := make([]ranked, len(cands))
-		for i, c := range cands {
-			rs[i] = ranked{c: c, size: plan.Size(c.Plan), cost: rw.cost(c.Plan)}
-		}
+		scratch.ranked = rs
 		sort.SliceStable(rs, func(i, j int) bool {
 			a, b := rs[i], rs[j]
 			if a.size != b.size {
@@ -359,7 +449,7 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 			return pathLess(a.c.Path, b.c.Path)
 		})
 		for _, r := range rs {
-			fp := plan.Fingerprint(r.c.Plan)
+			fp := r.c.fp
 			if seen[fp] {
 				sc.stats.MemoHits++
 				sc.jr.Record(journal.KindMemoHit, int32(r.c.Rule.No), journal.PackPath(r.c.Path), 0)
@@ -376,6 +466,7 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 			seen[fp] = true
 			ns := &state{
 				plan: r.c.Plan,
+				fp:   fp,
 				path: append(append([]Applied{}, st.path...),
 					Applied{RuleNo: r.c.Rule.No, RuleName: r.c.Rule.Name}),
 				size:  r.size,
@@ -403,24 +494,27 @@ func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (pla
 			if ns.size < best.size || (ns.size == best.size && ns.cost < best.cost) {
 				best = ns
 			}
-			// Sorted insert keeps the frontier pop-min and deterministic.
-			i := sort.Search(len(frontier), func(i int) bool {
-				return rankLess(ns, frontier[i])
+			// Sorted insert into the live segment keeps the frontier pop-min
+			// and deterministic.
+			i := head + sort.Search(len(frontier)-head, func(i int) bool {
+				return rankLess(ns, frontier[head+i])
 			})
 			frontier = append(frontier, nil)
 			copy(frontier[i+1:], frontier[i:])
 			frontier[i] = ns
 		}
-		if len(frontier) > opts.MaxFrontier {
+		if len(frontier)-head > opts.MaxFrontier {
 			if prov != nil {
-				for _, dropped := range frontier[opts.MaxFrontier:] {
+				for _, dropped := range frontier[head+opts.MaxFrontier:] {
 					prov.Nodes[dropped.id].Fate = FateDropped
 				}
 			}
-			frontier = frontier[:opts.MaxFrontier]
+			clear(frontier[head+opts.MaxFrontier:])
+			frontier = frontier[:head+opts.MaxFrontier]
 			truncate("frontier")
 		}
 	}
+	scratch.frontier = frontier
 
 	sc.stats.FinalSize = best.size
 	sc.stats.FinalCost = best.cost

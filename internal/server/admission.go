@@ -75,3 +75,31 @@ func (a *admission) releaseWorker() {
 	a.queued.Add(1) // the admission slot is still held until release
 	<-a.work
 }
+
+// beginExec / endExec bracket a parallel batch: the request leaves the queue
+// gauge for the span of its fan-out (it holds its one admission slot
+// throughout, while its items claim execution tokens individually), then
+// rejoins it just before release's decrement. Keeps server_queue_depth =
+// "admitted requests not currently executing" under both request shapes.
+func (a *admission) beginExec() { a.queued.Add(-1) }
+func (a *admission) endExec()   { a.queued.Add(1) }
+
+// acquireItemWorker blocks for an execution token for one batch item until
+// ctx expires. Unlike acquireWorker it leaves the queue gauge alone — the
+// owning request's queue accounting is handled once by beginExec/endExec,
+// not per item. Pair with releaseItemWorker.
+func (a *admission) acquireItemWorker(ctx context.Context) error {
+	select {
+	case a.work <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseItemWorker returns the execution token claimed by acquireItemWorker.
+func (a *admission) releaseItemWorker() {
+	a.inflight.Add(-1)
+	<-a.work
+}

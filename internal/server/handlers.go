@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wetune"
+	"wetune/internal/obs/journal"
 )
 
 // rewriteQuery is one query of a rewrite/explain request. App selects the
@@ -232,12 +235,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	// Resolve every app before taking a worker: an unknown app must not
 	// cost a queue wait.
-	type resolved struct {
-		app string
-		opt *wetune.Optimizer
-		err *apiError
-	}
-	rq := make([]resolved, len(queries))
+	rq := make([]resolvedApp, len(queries))
 	for i, q := range queries {
 		rq[i].app, rq[i].opt, rq[i].err = s.resolveApp(q.App)
 		if single && rq[i].err != nil {
@@ -248,16 +246,16 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	if err := s.adm.acquireWorker(ctx); err != nil {
-		writeError(w, http.StatusGatewayTimeout, apiError{
-			Code:    codeDeadlineExceeded,
-			Message: "request deadline expired while waiting for a worker",
-		})
-		return
-	}
-	defer s.adm.releaseWorker()
 
 	if single {
+		if err := s.adm.acquireWorker(ctx); err != nil {
+			writeError(w, http.StatusGatewayTimeout, apiError{
+				Code:    codeDeadlineExceeded,
+				Message: "request deadline expired while waiting for a worker",
+			})
+			return
+		}
+		defer s.adm.releaseWorker()
 		q := queries[0]
 		if s.cfg.beforeRewrite != nil {
 			s.cfg.beforeRewrite(q.SQL)
@@ -278,37 +276,99 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Batch: items run sequentially inside this one worker slot, sharing the
-	// request deadline. Per-item failures (bad app, bad SQL, deadline spent)
-	// are reported in place; the batch itself answers 200 — partial results
-	// are the point of batching.
+	// Batch: items fan out across the worker pool, bounded by Workers lanes.
+	// The request holds its one admission slot throughout; each item claims
+	// an execution token only for the span of its own rewrite, so batch
+	// concurrency comes out of the same Workers bound as single queries and
+	// the admission contract (never more than Workers concurrent rewrites)
+	// is preserved. Items are pulled by an atomic cursor and write results by
+	// index, so response ordering is position-stable regardless of completion
+	// order. Per-item failures (bad app, bad SQL, deadline spent waiting for
+	// a token) are reported in place; the batch itself answers 200 — partial
+	// results are the point of batching.
+	s.batchReqs.Inc()
 	out := batchResponse{Results: make([]batchItem, len(queries))}
-	for i, q := range queries {
-		if rq[i].err != nil {
-			out.Results[i] = batchItem{App: q.App, Error: rq[i].err}
-			out.Errors++
-			continue
-		}
-		if ctx.Err() != nil {
-			out.Results[i] = batchItem{App: rq[i].app, Error: &apiError{
-				Code:    codeDeadlineExceeded,
-				Message: "request deadline expired before this query ran",
-			}}
-			out.Errors++
-			continue
-		}
-		if s.cfg.beforeRewrite != nil {
-			s.cfg.beforeRewrite(q.SQL)
-		}
-		res, err := rq[i].opt.OptimizeSQLResultContext(ctx, q.SQL)
-		if err != nil {
-			out.Results[i] = batchItem{App: rq[i].app, Error: ptr(sqlErr(err))}
-			out.Errors++
-			continue
-		}
-		out.Results[i] = batchItem{App: rq[i].app, RewriteResult: res}
+	lanes := s.cfg.Workers
+	if len(queries) < lanes {
+		lanes = len(queries)
 	}
+	var next, errCount atomic.Int64
+	var wg sync.WaitGroup
+	s.adm.beginExec()
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(queries) {
+					return
+				}
+				s.runBatchItem(ctx, i, queries[i], rq[i], out.Results, &errCount)
+			}
+		}()
+	}
+	wg.Wait()
+	s.adm.endExec()
+	out.Errors = int(errCount.Load())
 	writeJSON(w, http.StatusOK, out)
+}
+
+// resolvedApp is one query's app resolution: a shared Optimizer or the error
+// to report in its slot.
+type resolvedApp struct {
+	app string
+	opt *wetune.Optimizer
+	err *apiError
+}
+
+// runBatchItem executes one batch item inside a fan-out lane: wait for an
+// execution token (charged against the request deadline, with the wait
+// recorded per item), rewrite, and write the result into the item's slot. A
+// panic is isolated to the item — counted and journaled like a handler panic,
+// answered as an in-place internal error — so one poisoned query cannot take
+// down its batch siblings.
+func (s *Server) runBatchItem(ctx context.Context, i int, q rewriteQuery, rz resolvedApp, results []batchItem, errCount *atomic.Int64) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.cfg.Registry.Counter("server_panics").Inc()
+			s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in batch item %d: %v\n%s", i, p, debug.Stack()))
+			results[i] = batchItem{App: rz.app, Error: &apiError{
+				Code:    codeInternal,
+				Message: "internal error (panic recovered; see journal anomaly)",
+			}}
+			errCount.Add(1)
+		}
+	}()
+	if rz.err != nil {
+		results[i] = batchItem{App: q.App, Error: rz.err}
+		errCount.Add(1)
+		return
+	}
+	waitStart := time.Now()
+	if err := s.adm.acquireItemWorker(ctx); err != nil {
+		results[i] = batchItem{App: rz.app, Error: &apiError{
+			Code:    codeDeadlineExceeded,
+			Message: "request deadline expired before this query ran",
+		}}
+		errCount.Add(1)
+		return
+	}
+	defer s.adm.releaseItemWorker()
+	wait := time.Since(waitStart)
+	s.batchWait.Observe(wait)
+	s.batchItems.Inc()
+	s.cfg.Journal.Record(journal.KindBatchItem, -1, wait.Nanoseconds(), int64(i))
+	if s.cfg.beforeRewrite != nil {
+		s.cfg.beforeRewrite(q.SQL)
+	}
+	res, err := rz.opt.OptimizeSQLResultContext(ctx, q.SQL)
+	if err != nil {
+		results[i] = batchItem{App: rz.app, Error: ptr(sqlErr(err))}
+		errCount.Add(1)
+		return
+	}
+	results[i] = batchItem{App: rz.app, RewriteResult: res}
 }
 
 // handleExplain is POST /v1/explain: one query's full derivation record via

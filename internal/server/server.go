@@ -69,9 +69,20 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBatch bounds queries per batch request (default 64 → 413 beyond).
 	MaxBatch int
-	// ResultCacheSize sizes each app's query→result LRU (0 = the rewrite
-	// engine's default, negative disables caching).
+	// ResultCacheSize sizes each app's query→result LRU (0 = a serving
+	// default of 2048, negative disables caching). The serving default is
+	// deliberately larger than the rewrite engine's: an LRU one entry
+	// smaller than a cyclically-replayed working set degrades to a 0% hit
+	// rate, so the daemon sizes for "every hot query of one app fits".
 	ResultCacheSize int
+	// PlanCacheSize sizes each app's normalized-SQL→parsed-plan LRU — the
+	// second cache tier, serving result-cache misses for repeated query
+	// shapes without re-parsing (0 = a serving default of 2048, negative
+	// disables).
+	PlanCacheSize int
+	// CacheShards overrides the shard count of both cache tiers (0 = a
+	// default scaled to GOMAXPROCS; values round up to a power of two).
+	CacheShards int
 	// Registry receives the server metrics (default obs.Default; note the
 	// rewrite engine's own counters always land in obs.Default).
 	Registry *obs.Registry
@@ -121,6 +132,12 @@ type Server struct {
 	adm  *admission
 	mux  http.Handler
 
+	// Batch fan-out metrics, resolved once (registry lookups are off the
+	// per-item hot path).
+	batchReqs  *obs.Counter
+	batchItems *obs.Counter
+	batchWait  *obs.Histogram
+
 	// drainMu serializes the draining flip against in-flight registration:
 	// requests take the read side to check-and-register, Shutdown takes the
 	// write side to flip, so no request registers after the drain wait
@@ -132,6 +149,21 @@ type Server struct {
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	listenOn string
+}
+
+// servingCacheSize is the default capacity of both cache tiers when the
+// config leaves them at 0. It must exceed the hot working set of any one app
+// (the largest corpus app replays 464 distinct queries): an LRU scanned
+// cyclically by a working set even one entry over capacity evicts every
+// entry right before its reuse and serves 0% hits.
+const servingCacheSize = 2048
+
+// orDefault returns n, or def when n is 0.
+func orDefault(n, def int) int {
+	if n == 0 {
+		return def
+	}
+	return n
 }
 
 // New validates the config, builds one shared Optimizer per schema
@@ -154,14 +186,20 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:  cfg,
-		opts: make(map[string]*wetune.Optimizer, len(cfg.Schemas)),
-		adm:  newAdmission(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+		cfg:        cfg,
+		opts:       make(map[string]*wetune.Optimizer, len(cfg.Schemas)),
+		adm:        newAdmission(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+		batchReqs:  cfg.Registry.Counter("server_batch_requests"),
+		batchItems: cfg.Registry.Counter("server_batch_items"),
+		batchWait:  cfg.Registry.Histogram("server_batch_item_wait"),
 	}
 	for app, schema := range cfg.Schemas {
 		opt := wetune.NewOptimizer(cfg.Rules, schema)
 		if cfg.ResultCacheSize >= 0 {
-			opt.EnableResultCache(cfg.ResultCacheSize)
+			opt.EnableResultCacheShards(orDefault(cfg.ResultCacheSize, servingCacheSize), cfg.CacheShards)
+		}
+		if cfg.PlanCacheSize >= 0 {
+			opt.EnablePlanCacheShards(orDefault(cfg.PlanCacheSize, servingCacheSize), cfg.CacheShards)
 		}
 		s.opts[app] = opt
 		s.apps = append(s.apps, app)

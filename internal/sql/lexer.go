@@ -25,15 +25,31 @@ type token struct {
 	pos  int
 }
 
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
-	"NOT": true, "IN": true, "EXISTS": true, "IS": true, "NULL": true,
-	"DISTINCT": true, "AS": true, "JOIN": true, "INNER": true, "LEFT": true,
-	"RIGHT": true, "OUTER": true, "CROSS": true, "ON": true, "GROUP": true,
-	"BY": true, "HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
-	"LIMIT": true, "UNION": true, "ALL": true, "TRUE": true, "FALSE": true,
-	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
-	"ELSE": true, "END": true,
+// keywords maps every case variant's upper-casing to the canonical (interned)
+// keyword string, so classifying a word never allocates: lower/mixed-case
+// input is upper-cased into a stack buffer and the map lookup on string(buf)
+// compiles to a no-copy lookup.
+var keywords = map[string]string{}
+
+// maxKeywordLen bounds the stack buffer for case folding ("DISTINCT" = 8).
+var maxKeywordLen int
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "FROM", "WHERE", "AND", "OR",
+		"NOT", "IN", "EXISTS", "IS", "NULL",
+		"DISTINCT", "AS", "JOIN", "INNER", "LEFT",
+		"RIGHT", "OUTER", "CROSS", "ON", "GROUP",
+		"BY", "HAVING", "ORDER", "ASC", "DESC",
+		"LIMIT", "UNION", "ALL", "TRUE", "FALSE",
+		"BETWEEN", "LIKE", "CASE", "WHEN", "THEN",
+		"ELSE", "END",
+	} {
+		keywords[k] = k
+		if len(k) > maxKeywordLen {
+			maxKeywordLen = len(k)
+		}
+	}
 }
 
 // lexer splits SQL text into tokens.
@@ -44,7 +60,10 @@ type lexer struct {
 }
 
 func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+	// Presize for the common token density (~1 token per 4 source bytes);
+	// growing a nil slice through append re-copies the prefix several times
+	// per query, which dominated the lexer's allocation profile.
+	l := &lexer{src: src, toks: make([]token, 0, len(src)/4+8)}
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {
@@ -112,12 +131,32 @@ func (l *lexer) lexWord() {
 		l.pos++
 	}
 	word := l.src[start:l.pos]
-	upper := strings.ToUpper(word)
-	if keywords[upper] {
-		l.toks = append(l.toks, token{kind: tkKeyword, text: upper, pos: start})
+	if canon, ok := keywordLookup(word); ok {
+		l.toks = append(l.toks, token{kind: tkKeyword, text: canon, pos: start})
 	} else {
 		l.toks = append(l.toks, token{kind: tkIdent, text: word, pos: start})
 	}
+}
+
+// keywordLookup classifies word case-insensitively against the keyword table
+// without allocating: ASCII upper-casing goes through a stack buffer and the
+// returned canonical string is the interned table entry, never a fresh copy.
+func keywordLookup(word string) (string, bool) {
+	if len(word) > maxKeywordLen {
+		return "", false
+	}
+	var buf [16]byte // maxKeywordLen fits comfortably
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		} else if c > 'Z' || c < 'A' {
+			return "", false // digits/underscore/non-ASCII: never a keyword
+		}
+		buf[i] = c
+	}
+	canon, ok := keywords[string(buf[:len(word)])]
+	return canon, ok
 }
 
 func (l *lexer) lexNumber() {
@@ -142,11 +181,33 @@ func (l *lexer) lexNumber() {
 func (l *lexer) lexString() error {
 	start := l.pos
 	l.pos++ // opening quote
-	var b strings.Builder
+	// Fast path: scan for the closing quote; a literal with no doubled-quote
+	// escape is sliced straight out of the source, no Builder copy.
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		if c == '\'' {
-			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				return l.lexStringEscaped(start)
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: l.src[start+1 : l.pos-1], pos: start})
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// lexStringEscaped resumes a string literal at its first doubled-quote
+// escape (l.pos is on the first of the two quotes); only this rare path
+// pays the Builder copy.
+func (l *lexer) lexStringEscaped(start int) error {
+	var b strings.Builder
+	b.WriteString(l.src[start+1 : l.pos])
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// a doubled quote escapes a quote.
 			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
 				b.WriteByte('\'')
 				l.pos += 2
@@ -165,15 +226,13 @@ func (l *lexer) lexString() error {
 func (l *lexer) lexQuotedIdent(quote byte) error {
 	start := l.pos
 	l.pos++
-	var b strings.Builder
+	// No escape sequences inside quoted identifiers: always a source slice.
 	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == quote {
+		if l.src[l.pos] == quote {
 			l.pos++
-			l.toks = append(l.toks, token{kind: tkIdent, text: b.String(), pos: start})
+			l.toks = append(l.toks, token{kind: tkIdent, text: l.src[start+1 : l.pos-1], pos: start})
 			return nil
 		}
-		b.WriteByte(c)
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
@@ -193,7 +252,8 @@ func (l *lexer) lexSymbol() error {
 	c := l.src[l.pos]
 	switch c {
 	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
-		l.emit(tkSymbol, string(c))
+		// Slice the source rather than string(c): guaranteed allocation-free.
+		l.emit(tkSymbol, l.src[l.pos:l.pos+1])
 		l.pos++
 		return nil
 	}

@@ -1,0 +1,106 @@
+package sql
+
+// NormalizeQuery canonicalizes a query's text for use as a cache key: runs of
+// whitespace (space, tab, newline, carriage return) collapse to one space,
+// leading/trailing whitespace and trailing statement terminators (';') are
+// stripped. Quoted regions — single-quoted string literals and double-quoted
+// identifiers, including doubled-quote escapes — are preserved byte for byte,
+// so two queries normalize equal only if the lexer would see the same token
+// stream modulo inter-token spacing.
+//
+// It does NOT case-fold: 'WHERE' and 'where' key different entries. That
+// trades a few duplicate cache slots for never conflating case-sensitive
+// quoted content, and keeps the pass a single byte scan.
+//
+// The common case — a query already in normal form — returns the input string
+// unchanged with zero allocation.
+func NormalizeQuery(q string) string {
+	// Scan once to find whether any change is needed; most traffic from
+	// programmatic clients is already normalized.
+	if isNormalQuery(q) {
+		return q
+	}
+	buf := make([]byte, 0, len(q))
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			j := i + 1
+			for j < len(q) && isSpaceByte(q[j]) {
+				j++
+			}
+			// Drop leading whitespace entirely; collapse interior runs.
+			if len(buf) > 0 && j < len(q) {
+				buf = append(buf, ' ')
+			}
+			i = j
+		case c == '\'' || c == '"':
+			j := skipQuoted(q, i)
+			buf = append(buf, q[i:j]...)
+			i = j
+		default:
+			buf = append(buf, c)
+			i++
+		}
+	}
+	// Strip trailing terminators (and any whitespace that preceded them —
+	// interior collapsing may have left one space before a ';').
+	for len(buf) > 0 && (buf[len(buf)-1] == ';' || buf[len(buf)-1] == ' ') {
+		buf = buf[:len(buf)-1]
+	}
+	return string(buf)
+}
+
+// isNormalQuery reports whether q is already in normalized form: no leading or
+// trailing whitespace, no trailing ';', and every interior whitespace byte
+// outside quotes is a single ' ' not followed by another space.
+func isNormalQuery(q string) bool {
+	if q == "" {
+		return true
+	}
+	if isSpaceByte(q[0]) || isSpaceByte(q[len(q)-1]) || q[len(q)-1] == ';' {
+		return false
+	}
+	for i := 0; i < len(q); {
+		c := q[i]
+		switch {
+		case c == '\t' || c == '\n' || c == '\r':
+			return false
+		case c == ' ':
+			if i+1 < len(q) && isSpaceByte(q[i+1]) {
+				return false
+			}
+			i++
+		case c == '\'' || c == '"':
+			i = skipQuoted(q, i)
+		default:
+			i++
+		}
+	}
+	return true
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// skipQuoted returns the index just past the quoted region starting at q[i]
+// (q[i] is the opening quote). Doubled quotes inside the region are
+// escapes. An unterminated quote runs to the end of the string — normalization
+// never fails; the parser reports the error later.
+func skipQuoted(q string, i int) int {
+	quote := q[i]
+	j := i + 1
+	for j < len(q) {
+		if q[j] == quote {
+			if j+1 < len(q) && q[j+1] == quote {
+				j += 2 // escaped quote, still inside
+				continue
+			}
+			return j + 1
+		}
+		j++
+	}
+	return j
+}

@@ -35,9 +35,10 @@ func MustParse(src string) *SelectStmt {
 }
 
 type parser struct {
-	toks []token
-	idx  int
-	src  string
+	toks    []token
+	idx     int
+	src     string
+	nparams int // '?' placeholders consumed so far (next Param.Index)
 }
 
 func (p *parser) cur() token  { return p.toks[p.idx] }
@@ -600,12 +601,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return &Literal{Val: NewString(t.text)}, nil
 	case tkParam:
 		p.idx++
-		idx := 0
-		for _, tok := range p.toks[:p.idx-1] {
-			if tok.kind == tkParam {
-				idx++
-			}
-		}
+		idx := p.nparams
+		p.nparams++
 		return &Param{Index: idx}, nil
 	case tkKeyword:
 		switch t.text {

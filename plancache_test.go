@@ -1,0 +1,94 @@
+package wetune_test
+
+import (
+	"reflect"
+	"testing"
+
+	"wetune"
+	"wetune/internal/workload"
+)
+
+// TestPlanCacheCorpusEquivalence proves the plan-cache tier changes nothing
+// observable: over the full rewrite corpus, results computed from a cached
+// (pre-parsed, pre-eliminated, shared) plan are deep-equal — output SQL,
+// applied chain, costs AND search stats — to results from a cold parse. Each
+// query runs twice against the cached optimizer so both the fill path (miss:
+// parse + eliminate + store) and the hit path (shared plan, elimination
+// skipped) are checked.
+func TestPlanCacheCorpusEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus differential test")
+	}
+	schemas, items := workload.RewriteCorpus(100) // the full 2464-query corpus
+	cold := make(map[string]*wetune.Optimizer, len(schemas))
+	cached := make(map[string]*wetune.Optimizer, len(schemas))
+	for app, schema := range schemas {
+		cold[app] = wetune.NewOptimizer(wetune.BuiltinRules(), schema)
+		c := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
+		c.EnablePlanCache(0) // plan cache only: every call still searches
+		cached[app] = c
+	}
+
+	checked, hits := 0, 0
+	for _, it := range items {
+		want, wantErr := cold[it.App].OptimizeSQLResult(it.SQL)
+		gotFill, fillErr := cached[it.App].OptimizeSQLResult(it.SQL)
+		gotHit, hitErr := cached[it.App].OptimizeSQLResult(it.SQL)
+		if (wantErr == nil) != (fillErr == nil) || (wantErr == nil) != (hitErr == nil) {
+			t.Fatalf("%s: error disagreement for %.80q: cold=%v fill=%v hit=%v",
+				it.App, it.SQL, wantErr, fillErr, hitErr)
+		}
+		if wantErr != nil {
+			continue // unplannable in both paths: equivalent
+		}
+		for name, got := range map[string]*wetune.RewriteResult{"fill": gotFill, "hit": gotHit} {
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: %s path diverged for %.80q:\ncold: %+v\n%s:  %+v",
+					it.App, name, it.SQL, want, name, got)
+			}
+		}
+		checked++
+	}
+	for app, opt := range cached {
+		if s, ok := opt.PlanCacheStats(); ok {
+			hits += int(s.Hits)
+		} else {
+			t.Fatalf("%s: plan cache not enabled", app)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no queries checked")
+	}
+	if hits == 0 {
+		t.Fatal("second pass never hit the plan cache")
+	}
+	t.Logf("checked %d queries (%d plan-cache hits)", checked, hits)
+}
+
+// TestResultCacheNormalizedKey pins the normalized keying: whitespace and
+// trailing-';' variants of one query share a result-cache entry.
+func TestResultCacheNormalizedKey(t *testing.T) {
+	schemas, _ := workload.RewriteCorpus(1)
+	var app string
+	var schema *wetune.Schema
+	for a, s := range schemas {
+		app, schema = a, s
+		break
+	}
+	_ = app
+	opt := wetune.NewOptimizer(wetune.BuiltinRules(), schema)
+	opt.EnableResultCache(0)
+
+	tbl := schema.SortedTableNames()[0]
+	q := "SELECT * FROM " + tbl
+	if _, err := opt.OptimizeSQLResult(q); err != nil {
+		t.Skipf("query unplannable on this schema: %v", err)
+	}
+	res, err := opt.OptimizeSQLResult("  SELECT  *  FROM " + tbl + " ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("whitespace variant missed the result cache")
+	}
+}

@@ -108,8 +108,9 @@ func Table7Rules() []Rule { return rules.Table7() }
 // per-call scratch (bindings, memo, frontier) lives in per-call contexts, and
 // the optional result cache is internally synchronized.
 type Optimizer struct {
-	rw    *rewrite.Rewriter
-	cache *rewrite.ResultCache
+	rw        *rewrite.Rewriter
+	cache     *rewrite.ResultCache
+	planCache *rewrite.PlanCache
 }
 
 // NewOptimizer builds an optimizer. Attach a database with UseDB to enable
@@ -122,12 +123,37 @@ func NewOptimizer(rs []Rule, schema *Schema) *Optimizer {
 // sharing the Optimizer across goroutines.
 func (o *Optimizer) UseDB(db *DB) { o.rw.DB = db }
 
-// EnableResultCache turns on the query-fingerprint → rewrite-result LRU
-// (n entries; n <= 0 picks a default). Repeated OptimizeSQL calls for the same
-// query text then skip planning and search entirely. Call before sharing the
-// Optimizer across goroutines.
+// EnableResultCache turns on the normalized-query → rewrite-result LRU
+// (n entries; n <= 0 picks a default). Repeated OptimizeSQL calls for the
+// same query shape (modulo whitespace and trailing ';' — see
+// sql.NormalizeQuery) then skip planning and search entirely. Call before
+// sharing the Optimizer across goroutines.
 func (o *Optimizer) EnableResultCache(n int) {
 	o.cache = rewrite.NewResultCache(n)
+}
+
+// EnableResultCacheShards is EnableResultCache with an explicit shard count
+// for the underlying sharded LRU (0 picks the default, which scales with
+// GOMAXPROCS).
+func (o *Optimizer) EnableResultCacheShards(n, shards int) {
+	o.cache = rewrite.NewResultCacheShards(n, shards)
+}
+
+// EnablePlanCache turns on the second cache tier: a normalized-query →
+// search-ready-plan LRU (n entries; n <= 0 picks a default). It serves the
+// result-cache misses: a repeated query shape whose result was evicted (or
+// was never cacheable, e.g. deadline-truncated) skips sql.Parse, plan
+// construction and ORDER-BY elimination and goes straight to the search.
+// Results are byte-identical to a cold parse — the cached plan is exactly the
+// search's start state. Call before sharing the Optimizer across goroutines.
+func (o *Optimizer) EnablePlanCache(n int) {
+	o.planCache = rewrite.NewPlanCache(n)
+}
+
+// EnablePlanCacheShards is EnablePlanCache with an explicit shard count
+// (0 picks the default).
+func (o *Optimizer) EnablePlanCacheShards(n, shards int) {
+	o.planCache = rewrite.NewPlanCacheShards(n, shards)
 }
 
 // Applied describes one rewrite step.
@@ -184,8 +210,16 @@ func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
 // the same. Deadline-truncated results are never stored in the result cache
 // — a slow client's partial answer must not be replayed to a patient one.
 func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) (*RewriteResult, error) {
+	// Both cache tiers key on the normalized text, so "SELECT 1" and
+	// "select  1 ;"-style formatting variants share entries... but only the
+	// whitespace/terminator kind of variant — normalization never rewrites
+	// tokens (see sql.NormalizeQuery).
+	key := query
+	if o.cache != nil || o.planCache != nil {
+		key = sql.NormalizeQuery(query)
+	}
 	if o.cache != nil {
-		if hit, ok := o.cache.Get(query); ok {
+		if hit, ok := o.cache.Get(key); ok {
 			return &RewriteResult{
 				Input:      query,
 				Output:     hit.SQL,
@@ -197,13 +231,35 @@ func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) 
 			}, nil
 		}
 	}
-	p, err := plan.BuildSQL(query, o.rw.Schema)
-	if err != nil {
-		return nil, err
-	}
 	opts := rewrite.ExploreOptions(12, 6)
 	if dl, ok := ctx.Deadline(); ok {
 		opts.Deadline = dl
+	}
+	var p plan.Node
+	if o.planCache != nil {
+		// Plan-cache tier: a hit skips parse + plan build + ORDER-BY
+		// elimination. Cached plans are stored post-elimination (elimination
+		// mutates the tree and so must run before the plan is shared); the
+		// search therefore must not run it again. Elimination is idempotent,
+		// so the fill path can also skip it in the search — results are
+		// byte-identical to the uncached path either way.
+		opts.SkipOrderByElim = true
+		cached, ok := o.planCache.Get(key)
+		if !ok {
+			built, err := plan.BuildSQL(query, o.rw.Schema)
+			if err != nil {
+				return nil, err
+			}
+			cached = rewrite.EliminateOrderBy(built)
+			o.planCache.Put(key, cached)
+		}
+		p = cached
+	} else {
+		built, err := plan.BuildSQL(query, o.rw.Schema)
+		if err != nil {
+			return nil, err
+		}
+		p = built
 	}
 	out, applied, stats := o.rw.Search(p, opts)
 	res := &RewriteResult{
@@ -215,7 +271,7 @@ func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) 
 		Stats:      stats,
 	}
 	if o.cache != nil && stats.TruncatedBy != "deadline" {
-		o.cache.Put(query, rewrite.CachedResult{
+		o.cache.Put(key, rewrite.CachedResult{
 			SQL:        res.Output,
 			Applied:    res.Applied,
 			Stats:      res.Stats,
@@ -276,6 +332,15 @@ func (o *Optimizer) ResultCacheStats() (stats CacheStats, ok bool) {
 		return CacheStats{}, false
 	}
 	return o.cache.Stats(), true
+}
+
+// PlanCacheStats reports the Optimizer's plan-cache traffic. ok is false when
+// EnablePlanCache was never called.
+func (o *Optimizer) PlanCacheStats() (stats CacheStats, ok bool) {
+	if o.planCache == nil {
+		return CacheStats{}, false
+	}
+	return o.planCache.Stats(), true
 }
 
 // PlanSQL parses and lowers a query against the optimizer's schema.
