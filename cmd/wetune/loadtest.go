@@ -33,10 +33,22 @@ func cmdLoadtest(args []string) int {
 	out := fs.String("out", "BENCH_serve.json", "trajectory file used by -json")
 	profile := fs.String("profile", "", "capture a pprof profile during the run: \"cpu\" or \"alloc\" (most useful with -inprocess, where server work runs in this process)")
 	profileOut := fs.String("profile-out", "", "profile output path (default <profile>.pprof)")
-	compare := fs.String("compare", "", "print a before/after delta against the last entry of this BENCH_serve.json-format file")
+	compare := fs.String("compare", "", "print a before/after delta against an entry of this BENCH_serve.json-format file")
+	compareEntry := fs.String("compare-entry", "", "baseline entry name for -compare (default: the file's last entry)")
+	strict := fs.Bool("strict", false, "fail (exit 1) on a missing, corrupt or empty -compare baseline instead of warning and running without a comparison")
+	retries := fs.Int("retries", 0, "re-issue 429/503 pushback up to N attempts per request with capped exponential backoff honoring Retry-After (0 = no retries; -chaos defaults to 3)")
+	chaos := fs.Bool("chaos", false, "play the default fault-injection schedule during the run (requires -inprocess; injected 5xx are reported separately and do not fail the run)")
+	seed := fs.Int64("seed", 1, "fault-decision and retry-jitter seed (used with -chaos)")
 	of := addObsFlags(fs)
 	if fs.Parse(args) != nil {
 		return exitUsage
+	}
+	if *chaos && !*inprocess {
+		fmt.Fprintln(os.Stderr, "loadtest: -chaos requires -inprocess (the fault registry lives in this process)")
+		return exitUsage
+	}
+	if *chaos && *retries == 0 {
+		*retries = 3
 	}
 	finish := of.start()
 	defer finish()
@@ -59,6 +71,8 @@ func cmdLoadtest(args []string) int {
 		Rate:        *rate,
 		PerApp:      *perApp,
 		Timeout:     *timeout,
+		Retry:       loadgen.RetryPolicy{MaxAttempts: *retries},
+		Seed:        *seed,
 	}
 	if *inprocess {
 		srv, err := server.New(server.Config{
@@ -96,23 +110,37 @@ func cmdLoadtest(args []string) int {
 	}
 
 	// Read the comparison baseline before the run: -compare and -out may
-	// name the same trajectory file, and the baseline must be the last entry
-	// as of before this run's append.
+	// name the same trajectory file, and the baseline must be read as of
+	// before this run's append. A broken baseline is a typed failure
+	// (loadgen.TrajectoryError): fatal under -strict — CI must not let a
+	// corrupt trajectory turn the regression gate into a silent no-op —
+	// and a loud warning otherwise.
 	var comparePrev *loadgen.Report
 	if *compare != "" {
 		prev, err := loadgen.ReadTrajectory(*compare)
+		if err == nil {
+			comparePrev, err = loadgen.SelectEntry(*compare, prev, *compareEntry)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "loadtest:", err)
-			return exitError
+			if *strict {
+				fmt.Fprintln(os.Stderr, "loadtest:", err)
+				return exitError
+			}
+			fmt.Fprintf(os.Stderr, "loadtest: warning: no comparison baseline: %v\n", err)
 		}
-		if len(prev) == 0 {
-			fmt.Fprintf(os.Stderr, "loadtest: %s holds no entries to compare against\n", *compare)
-			return exitError
-		}
-		comparePrev = &prev[len(prev)-1]
+	}
+
+	var chaosCancel context.CancelFunc
+	if *chaos {
+		var chaosCtx context.Context
+		chaosCtx, chaosCancel = context.WithCancel(ctx)
+		go loadgen.PlaySchedule(chaosCtx, *seed, loadgen.DefaultSchedule(*dur))
 	}
 
 	rep, err := loadgen.Run(ctx, opts)
+	if chaosCancel != nil {
+		chaosCancel()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadtest:", err)
 		return exitError
@@ -154,7 +182,7 @@ func cmdLoadtest(args []string) int {
 		fmt.Print(loadgen.Compare(comparePrev, rep))
 	}
 	if rep.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "loadtest: %d errors (transport failures or 5xx)\n", rep.Errors)
+		fmt.Fprintf(os.Stderr, "loadtest: %d errors (transport failures or non-injected 5xx)\n", rep.Errors)
 		return exitError
 	}
 	return exitOK

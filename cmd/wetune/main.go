@@ -47,15 +47,31 @@
 //	wetune loadtest [-addr URL | -inprocess] [-c N] [-d 5s] [-rate R] [-n N]
 //	                [-per-app N] [-timeout 5s] [-json] [-name NAME] [-out FILE]
 //	                [-profile cpu|alloc] [-profile-out FILE] [-compare FILE]
+//	                [-compare-entry NAME] [-strict] [-retries N] [-chaos] [-seed N]
 //	                                            drive a server (or an in-process handler)
 //	                                            over the fixed rewrite corpus and report
 //	                                            throughput, p50/p90/p99 latency and error
 //	                                            counts; -json appends the entry to -out
 //	                                            (default BENCH_serve.json); -profile captures
 //	                                            a pprof profile during the run; -compare
-//	                                            prints the delta against the last entry of a
-//	                                            prior trajectory file; exits 1 when the run
-//	                                            saw transport errors or 5xx responses
+//	                                            prints the delta against an entry of a prior
+//	                                            trajectory file (-compare-entry selects it by
+//	                                            name, default the last); -strict makes a
+//	                                            missing/corrupt baseline fatal; -retries
+//	                                            re-issues 429/503 pushback with backoff;
+//	                                            -chaos (with -inprocess) plays the default
+//	                                            fault schedule during the run; exits 1 when
+//	                                            the run saw transport errors or non-injected
+//	                                            5xx responses
+//	wetune soak -inprocess [-d 10s] [-c N] [-seed N] [-json] [-out FILE]
+//	                                            chaos soak: run an in-process server with an
+//	                                            aggressive degradation ladder under load while
+//	                                            the default fault schedule injects cache
+//	                                            stalls/misses, search starvation, encode
+//	                                            failures and handler panics, then assert the
+//	                                            run's invariants (no non-injected 5xx, ladder
+//	                                            degraded and recovered, no stuck in-flight
+//	                                            work, clean drain); exits 1 on any violation
 //	wetune report rules [-json] [-per-app N]    run the fixed rewrite workload and report
 //	                                            per-rule effectiveness: fire/win/no-op
 //	                                            counts, cost-delta histograms, and the
@@ -156,6 +172,8 @@ func run(args []string) int {
 		return cmdServe(args[1:])
 	case "loadtest":
 		return cmdLoadtest(args[1:])
+	case "soak":
+		return cmdSoak(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "bench":
@@ -167,7 +185,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|explain|serve|loadtest|report|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wetune <discover|rules|verify|fuzz|rewrite|explain|serve|loadtest|soak|report|bench> [flags]")
 }
 
 // newFlagSet builds a flag set that reports parse failures via error (so run

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,6 +73,9 @@ func TestExitCodes(t *testing.T) {
 		{"fuzz replay missing file", []string{"fuzz", "-replay", "/nonexistent/repro.json"}, exitError},
 		{"serve bad flag", []string{"serve", "-no-such-flag"}, exitUsage},
 		{"loadtest bad flag", []string{"loadtest", "-no-such-flag"}, exitUsage},
+		{"loadtest chaos needs inprocess", []string{"loadtest", "-chaos"}, exitUsage},
+		{"soak without -inprocess", []string{"soak"}, exitUsage},
+		{"soak bad flag", []string{"soak", "-no-such-flag"}, exitUsage},
 		{"discover bad prover", []string{"discover", "-prover", "bogus"}, exitUsage},
 	}
 	for _, tc := range cases {
@@ -97,6 +101,29 @@ func TestRewriteDeadlineOutputStillCorrect(t *testing.T) {
 	}
 	if !strings.Contains(out, "truncated by deadline") {
 		t.Errorf("truncated rewrite did not say which budget fired:\n%s", out)
+	}
+}
+
+// TestLoadtestStrictBaseline pins the -compare contract: a corrupt baseline
+// is fatal under -strict (before any load runs — CI must not turn the
+// regression gate into a silent no-op), and a warning-then-run without it.
+func TestLoadtestStrictBaseline(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := runQuiet(t, "loadtest", "-inprocess", "-strict", "-compare", bad,
+		"-n", "1", "-c", "1", "-d", "1s")
+	if code != exitError {
+		t.Errorf("strict with corrupt baseline = %d, want %d", code, exitError)
+	}
+	code, out := runQuiet(t, "loadtest", "-inprocess", "-compare", bad,
+		"-n", "1", "-c", "1", "-d", "5s")
+	if code != exitOK {
+		t.Errorf("non-strict with corrupt baseline = %d, want %d", code, exitOK)
+	}
+	if !strings.Contains(out, "requests") {
+		t.Errorf("non-strict run produced no report:\n%s", out)
 	}
 }
 

@@ -52,6 +52,39 @@ type Options struct {
 	// Timeout is the per-request client timeout, also sent as timeout_ms so
 	// the server's search budget matches (default 5s).
 	Timeout time.Duration
+	// Retry, when MaxAttempts > 1, re-issues requests the server pushed back
+	// (429 admission rejections and 503 drain refusals) with capped
+	// exponential backoff — the well-behaved-client loop a chaos run needs so
+	// overload shows up as latency, not as a wall of client-side failures.
+	Retry RetryPolicy
+	// Seed drives the retry backoff jitter (0 = a fixed default); runs with
+	// the same seed draw the same jitter sequence per worker.
+	Seed int64
+}
+
+// RetryPolicy configures pushback retries. A 429/503 answer is retried after
+// the server's Retry-After (when present, honored exactly) or an exponential
+// backoff: BaseBackoff doubling per attempt up to MaxBackoff, plus up to 50%
+// deterministic jitter so synchronized workers do not re-stampede the
+// admission gate in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per request, first included (0 or 1 = no
+	// retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff (default 10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 500ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
 }
 
 // Report is one load run's outcome. Latency quantiles are exact (computed
@@ -69,6 +102,15 @@ type Report struct {
 	Requests   int64            `json:"requests"`
 	Errors     int64            `json:"errors"`
 	Status     map[string]int64 `json:"status"`
+	// Retries counts re-issued requests (429/503 pushback; see RetryPolicy).
+	Retries int64 `json:"retries,omitempty"`
+	// Injected5xx counts 5xx answers carrying the X-WeTune-Injected-Fault
+	// header — damage a chaos schedule injected on purpose. They are excluded
+	// from Errors: a chaos run's pass/fail looks at real failures only.
+	Injected5xx int64 `json:"injected_5xx,omitempty"`
+	// ServiceLevels tallies responses per X-WeTune-Service-Level value, the
+	// client-side view of the server's degradation ladder during the run.
+	ServiceLevels map[string]int64 `json:"service_levels,omitempty"`
 
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50MS         float64 `json:"p50_ms"`
@@ -170,10 +212,15 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}()
 	}
 
+	retry := opts.Retry.withDefaults()
+
 	type workerStats struct {
-		lats   []time.Duration
-		status map[int]int64
-		errs   int64
+		lats     []time.Duration
+		status   map[int]int64
+		levels   map[string]int64
+		errs     int64
+		retries  int64
+		injected int64
 	}
 	var issued atomic.Int64
 	var next atomic.Int64
@@ -182,9 +229,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	start := time.Now()
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
-		go func(ws *workerStats) {
+		go func(ws *workerStats, rng uint64) {
 			defer wg.Done()
 			ws.status = map[int]int64{}
+			ws.levels = map[string]int64{}
 			for {
 				if runCtx.Err() != nil {
 					return
@@ -200,32 +248,59 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					}
 				}
 				body := bodies[int(next.Add(1)-1)%len(bodies)]
-				req, err := http.NewRequestWithContext(runCtx, http.MethodPost, url, bytes.NewReader(body))
+				t0 := time.Now()
+				var resp *http.Response
+				var err error
+				for attempt := 1; ; attempt++ {
+					var req *http.Request
+					req, err = http.NewRequestWithContext(runCtx, http.MethodPost, url, bytes.NewReader(body))
+					if err != nil {
+						break
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err = client.Do(req)
+					if err != nil || attempt >= retry.MaxAttempts || !retryable(resp.StatusCode) {
+						break
+					}
+					wait := resp.Header.Get("Retry-After")
+					_, _ = copyDiscard(resp)
+					ws.retries++
+					if !backoffSleep(runCtx, &rng, retry, attempt, wait) {
+						return
+					}
+				}
+				lat := time.Since(t0)
+				if runCtx.Err() != nil {
+					// The run deadline fired while this request was in
+					// flight: its server-side deadline was artificially cut,
+					// so whatever came back (a transport error, a 504 from
+					// the truncated context) is the run ending, not a server
+					// failure — drop it unrecorded.
+					if err == nil {
+						_, _ = copyDiscard(resp)
+					}
+					return
+				}
 				if err != nil {
 					ws.errs++
 					continue
 				}
-				req.Header.Set("Content-Type", "application/json")
-				t0 := time.Now()
-				resp, err := client.Do(req)
-				lat := time.Since(t0)
-				if err != nil {
-					// A request cut off by the run deadline is the run
-					// ending, not a server failure.
-					if runCtx.Err() != nil {
-						return
-					}
-					ws.errs++
-					continue
+				injected := resp.Header.Get("X-WeTune-Injected-Fault") != ""
+				if lvl := resp.Header.Get("X-WeTune-Service-Level"); lvl != "" {
+					ws.levels[lvl]++
 				}
 				_, _ = copyDiscard(resp)
 				ws.lats = append(ws.lats, lat)
 				ws.status[resp.StatusCode]++
 				if resp.StatusCode >= 500 {
-					ws.errs++
+					if injected {
+						ws.injected++
+					} else {
+						ws.errs++
+					}
 				}
 			}
-		}(&stats[w])
+		}(&stats[w], splitmix64(uint64(opts.Seed)^uint64(w)*0x9e3779b97f4a7c15+1))
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -243,8 +318,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		ws := &stats[i]
 		all = append(all, ws.lats...)
 		rep.Errors += ws.errs
+		rep.Retries += ws.retries
+		rep.Injected5xx += ws.injected
 		for code, n := range ws.status {
 			rep.Status[strconv.Itoa(code)] += n
+		}
+		for lvl, n := range ws.levels {
+			if rep.ServiceLevels == nil {
+				rep.ServiceLevels = map[string]int64{}
+			}
+			rep.ServiceLevels[lvl] += n
 		}
 	}
 	rep.Requests = int64(len(all))
@@ -264,6 +347,50 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rep.P99MS = ms(quantile(all, 0.99))
 	}
 	return rep, nil
+}
+
+// retryable reports whether a status is server pushback worth retrying:
+// admission rejection (429) or drain refusal (503).
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// splitmix64 is the jitter PRNG (stateless mix; Vigna's public-domain
+// constants).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoffSleep waits before retry #attempt: the server's Retry-After when it
+// sent one (honored exactly), else BaseBackoff·2^(attempt-1) capped at
+// MaxBackoff — plus up to 50% jitter either way. Returns false when the run
+// ended mid-wait.
+func backoffSleep(ctx context.Context, rng *uint64, p RetryPolicy, attempt int, retryAfter string) bool {
+	wait := p.BaseBackoff << (attempt - 1)
+	if wait > p.MaxBackoff || wait <= 0 {
+		wait = p.MaxBackoff
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	*rng = splitmix64(*rng)
+	if wait > 0 {
+		wait += time.Duration(*rng % uint64(wait/2+1))
+	}
+	if wait <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // quantile returns the exact q-quantile of a sorted latency slice (nearest
@@ -298,7 +425,26 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, " rate=%.0f/s", r.RateRPS)
 	}
 	fmt.Fprintf(&b, " duration=%.1fs\n", float64(r.DurationMS)/1e3)
-	fmt.Fprintf(&b, "  requests: %d (%.0f req/s), errors: %d\n", r.Requests, r.ThroughputRPS, r.Errors)
+	fmt.Fprintf(&b, "  requests: %d (%.0f req/s), errors: %d", r.Requests, r.ThroughputRPS, r.Errors)
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, ", retries: %d", r.Retries)
+	}
+	if r.Injected5xx > 0 {
+		fmt.Fprintf(&b, ", injected 5xx: %d", r.Injected5xx)
+	}
+	b.WriteString("\n")
+	if len(r.ServiceLevels) > 0 {
+		lvls := make([]string, 0, len(r.ServiceLevels))
+		for l := range r.ServiceLevels {
+			lvls = append(lvls, l)
+		}
+		sort.Strings(lvls)
+		b.WriteString("  service levels:")
+		for _, l := range lvls {
+			fmt.Fprintf(&b, " %s=%d", l, r.ServiceLevels[l])
+		}
+		b.WriteString("\n")
+	}
 	codes := make([]string, 0, len(r.Status))
 	for c := range r.Status {
 		codes = append(codes, c)
@@ -312,17 +458,64 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// ReadTrajectory reads a BENCH_serve.json-format trajectory file.
+// TrajectoryError is a typed failure reading a benchmark trajectory file, so
+// callers (the loadtest -compare path in CI) can distinguish a missing or
+// corrupt baseline from a transient problem — and fail loudly instead of
+// silently comparing against nothing.
+type TrajectoryError struct {
+	// Path is the trajectory file.
+	Path string
+	// Reason classifies the failure: "read" (the file could not be read),
+	// "parse" (malformed JSON or not a Report array), "empty" (a valid file
+	// with zero entries), or "entry" (a requested entry name is absent).
+	Reason string
+	// Err is the underlying error, when any.
+	Err error
+}
+
+func (e *TrajectoryError) Error() string {
+	msg := fmt.Sprintf("trajectory %s: %s", e.Path, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *TrajectoryError) Unwrap() error { return e.Err }
+
+// ReadTrajectory reads a BENCH_serve.json-format trajectory file. Failures
+// are *TrajectoryError (read, parse or empty).
 func ReadTrajectory(path string) ([]Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, &TrajectoryError{Path: path, Reason: "read", Err: err}
 	}
 	var entries []Report
 	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, &TrajectoryError{Path: path, Reason: "parse", Err: err}
+	}
+	if len(entries) == 0 {
+		return nil, &TrajectoryError{Path: path, Reason: "empty"}
 	}
 	return entries, nil
+}
+
+// SelectEntry picks the comparison baseline from a trajectory: the last entry
+// named name, or the last entry overall when name is "". A missing name is a
+// *TrajectoryError with reason "entry".
+func SelectEntry(path string, entries []Report, name string) (*Report, error) {
+	if name == "" {
+		if len(entries) == 0 {
+			return nil, &TrajectoryError{Path: path, Reason: "empty"}
+		}
+		return &entries[len(entries)-1], nil
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Name == name {
+			return &entries[i], nil
+		}
+	}
+	return nil, &TrajectoryError{Path: path, Reason: "entry", Err: fmt.Errorf("no entry named %q", name)}
 }
 
 // Compare renders the before→after delta between two runs: throughput and

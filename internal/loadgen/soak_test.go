@@ -1,0 +1,223 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wetune/internal/faultinject"
+)
+
+// TestDefaultScheduleShape pins the chaos script's contract: serving-path
+// points only (ProverStall lives on the discovery pipeline), every window
+// inside the run, and a clean tail so ladder recovery is assertable.
+func TestDefaultScheduleShape(t *testing.T) {
+	const d = 10 * time.Second
+	phases := DefaultSchedule(d)
+	if len(phases) == 0 {
+		t.Fatal("empty schedule")
+	}
+	var lastEnd time.Duration
+	for _, ph := range phases {
+		if ph.Fault.Point == faultinject.ProverStall {
+			t.Error("ProverStall in the serving-path schedule")
+		}
+		if ph.Fault.Rate <= 0 || ph.Fault.Rate > 1 {
+			t.Errorf("phase %s rate %v outside (0, 1]", ph.Fault.Point, ph.Fault.Rate)
+		}
+		if ph.At < 0 || ph.At+ph.Duration > d {
+			t.Errorf("phase %s window [%v, %v] outside the run", ph.Fault.Point, ph.At, ph.At+ph.Duration)
+		}
+		if end := ph.At + ph.Duration; end > lastEnd {
+			lastEnd = end
+		}
+	}
+	if lastEnd > d*85/100 {
+		t.Errorf("last fault clears at %v — the final 15%% of the run must be clean", lastEnd)
+	}
+}
+
+// TestPlayScheduleArmsAndClears: the player arms a phase at its offset,
+// clears it at the end, and disarms everything on return.
+func TestPlayScheduleArmsAndClears(t *testing.T) {
+	defer faultinject.Reset()
+	phases := []FaultPhase{{
+		At:       0,
+		Duration: 50 * time.Millisecond,
+		Fault:    faultinject.Fault{Point: faultinject.CacheFail, Rate: 1},
+	}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		PlaySchedule(context.Background(), 1, phases)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !faultinject.Armed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !faultinject.Fire(faultinject.CacheFail) {
+		t.Error("armed phase did not fire at rate 1")
+	}
+	<-done
+	if faultinject.Armed() {
+		t.Error("registry still armed after the schedule finished")
+	}
+}
+
+// TestRunSoakShort runs the full chaos soak harness at unit-test scale: the
+// fault schedule plays over live load and every invariant must hold.
+func TestRunSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	rep, err := RunSoak(context.Background(), SoakOptions{Duration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("soak violated its invariants:\n%s", rep.Render())
+	}
+	if rep.Load.Requests == 0 {
+		t.Error("soak made no requests")
+	}
+	if len(rep.FaultsFired) == 0 {
+		t.Error("no faults fired — the schedule never armed")
+	}
+	if rep.FinalLevel != "full" {
+		t.Errorf("final level = %q, want full", rep.FinalLevel)
+	}
+}
+
+// TestRetryHonorsPushback: 429 answers with Retry-After are retried up to the
+// attempt budget and the winning status is the one recorded.
+func TestRetryHonorsPushback(t *testing.T) {
+	var attempts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	rep, err := Run(context.Background(), Options{
+		Handler:     h,
+		Concurrency: 1,
+		Iterations:  1,
+		Duration:    time.Minute,
+		Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 {
+		t.Errorf("requests = %d, want 1 (retries are not extra requests)", rep.Requests)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("retries = %d, want 2", rep.Retries)
+	}
+	if rep.Status["200"] != 1 {
+		t.Errorf("status = %v, want one 200", rep.Status)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+}
+
+// TestRetryBudgetExhausted: when every attempt is pushed back, the last 429
+// stands — recorded as pushback, not as an error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	rep, err := Run(context.Background(), Options{
+		Handler:     h,
+		Concurrency: 1,
+		Iterations:  1,
+		Duration:    time.Minute,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if rep.Retries != 1 {
+		t.Errorf("retries = %d, want 1", rep.Retries)
+	}
+	if rep.Status["429"] != 1 || rep.Errors != 0 {
+		t.Errorf("status = %v errors = %d, want one 429 and no errors", rep.Status, rep.Errors)
+	}
+}
+
+// TestTrajectoryErrors pins the typed baseline failures: each failure mode
+// carries its reason, so `loadtest -compare -strict` can gate CI on a corrupt
+// trajectory instead of silently skipping the comparison.
+func TestTrajectoryErrors(t *testing.T) {
+	dir := t.TempDir()
+	reasonOf := func(err error) string {
+		t.Helper()
+		var te *TrajectoryError
+		if !errors.As(err, &te) {
+			t.Fatalf("error %v is not a *TrajectoryError", err)
+		}
+		return te.Reason
+	}
+
+	if _, err := ReadTrajectory(filepath.Join(dir, "missing.json")); reasonOf(err) != "read" {
+		t.Errorf("missing file reason = %q, want read", reasonOf(err))
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(bad); reasonOf(err) != "parse" {
+		t.Errorf("malformed file reason = %q, want parse", reasonOf(err))
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(empty); reasonOf(err) != "empty" {
+		t.Errorf("empty trajectory reason = %q, want empty", reasonOf(err))
+	}
+}
+
+// TestSelectEntry: default is the file's last entry; a name picks the last
+// entry with that name; a miss is a typed "entry" failure.
+func TestSelectEntry(t *testing.T) {
+	entries := []Report{
+		{Name: "x", Requests: 1},
+		{Name: "y", Requests: 2},
+		{Name: "x", Requests: 3},
+	}
+	got, err := SelectEntry("f.json", entries, "")
+	if err != nil || got.Requests != 3 {
+		t.Errorf("default entry = %+v, %v; want the last entry", got, err)
+	}
+	got, err = SelectEntry("f.json", entries, "x")
+	if err != nil || got.Requests != 3 {
+		t.Errorf("entry x = %+v, %v; want the last x", got, err)
+	}
+	got, err = SelectEntry("f.json", entries, "y")
+	if err != nil || got.Requests != 2 {
+		t.Errorf("entry y = %+v, %v", got, err)
+	}
+	var te *TrajectoryError
+	if _, err = SelectEntry("f.json", entries, "z"); !errors.As(err, &te) || te.Reason != "entry" {
+		t.Errorf("missing name error = %v, want reason entry", err)
+	}
+	if _, err = SelectEntry("f.json", nil, ""); !errors.As(err, &te) || te.Reason != "empty" {
+		t.Errorf("no entries error = %v, want reason empty", err)
+	}
+}

@@ -26,6 +26,10 @@ type line struct {
 	DurNS   *int64  `json:"dur_ns,omitempty"`
 	Cache   string  `json:"cache,omitempty"`
 	Anomaly string  `json:"anomaly,omitempty"`
+	From    *int64  `json:"from,omitempty"`
+	To      *int64  `json:"to,omitempty"`
+	State   string  `json:"state,omitempty"`
+	Point   *int64  `json:"point,omitempty"`
 }
 
 // f64 renders non-finite costs as null instead of breaking json.Marshal.
@@ -103,8 +107,31 @@ func (j *Journal) render(ev Event) line {
 	case KindBatchItem:
 		l.DurNS = &ev.A
 		l.Count = &ev.B
+	case KindServiceLevel:
+		l.From = &ev.A
+		l.To = &ev.B
+	case KindBreaker:
+		l.State = breakerStateName(ev.A)
+		l.Count = &ev.B
+	case KindFault:
+		l.Point = &ev.A
+		l.Count = &ev.B
 	}
 	return l
+}
+
+// breakerStateName decodes a KindBreaker payload (the server's breaker
+// states; the journal only names them for the dump).
+func breakerStateName(a int64) string {
+	switch a {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half_open"
+	}
+	return "unknown"
 }
 
 // WriteJSONL renders the retained events, oldest first, one JSON object per

@@ -67,6 +67,17 @@ const (
 	// A = queue wait in nanoseconds (admission to worker token), B = item
 	// index within the batch.
 	KindBatchItem
+	// KindServiceLevel: the serving degradation ladder changed level.
+	// A = level stepped from, B = level stepped to (0 full, 1 reduced,
+	// 2 greedy, 3 cache-only).
+	KindServiceLevel
+	// KindBreaker: a per-app circuit breaker transitioned. A = new state
+	// (0 closed, 1 open, 2 half-open), B = consecutive deadline
+	// truncations observed at the transition.
+	KindBreaker
+	// KindFault: a fault-injection point fired. A = the point's index in
+	// faultinject.Points(), B = the point's decision counter at the fire.
+	KindFault
 )
 
 // String returns the snake_case kind name used in the JSONL dump.
@@ -96,6 +107,12 @@ func (k Kind) String() string {
 		return "anomaly"
 	case KindBatchItem:
 		return "batch_item"
+	case KindServiceLevel:
+		return "service_level"
+	case KindBreaker:
+		return "breaker"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }

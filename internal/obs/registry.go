@@ -182,7 +182,38 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 // bucket holding the target rank. Observations in the overflow bucket report
 // the last finite bound (a lower bound on the true value).
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
+	return CountsQuantile(h.bounds, h.Counts(), q)
+}
+
+// Bounds returns the histogram's bucket upper bounds. The slice is shared;
+// callers must not mutate it.
+func (h *Histogram) Bounds() []time.Duration { return h.bounds }
+
+// Counts returns a snapshot of the per-bucket observation counts
+// (len(Bounds())+1 entries; the last is the overflow bucket). Each count is
+// read atomically; the vector as a whole is a consistent sample in the same
+// sense as Snapshot — counts are monotone, so the difference of two
+// snapshots is the traffic of the interval between them. That difference is
+// what windowed quantiles (e.g. a load controller's p99-over-the-last-tick)
+// feed to CountsQuantile.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// CountsQuantile estimates the q-quantile of an explicit per-bucket count
+// vector over the given bounds — the same interpolation Histogram.Quantile
+// uses, factored out so interval deltas of Counts snapshots can be ranked
+// without a Histogram instance. counts must have len(bounds)+1 entries
+// (overflow last); a zero-total vector reports 0.
+func CountsQuantile(bounds []time.Duration, counts []int64, q float64) time.Duration {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
@@ -192,8 +223,8 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var cum float64
 	lower := time.Duration(0)
-	for i, bound := range h.bounds {
-		c := float64(h.buckets[i].Load())
+	for i, bound := range bounds {
+		c := float64(counts[i])
 		if cum+c >= rank && c > 0 {
 			frac := (rank - cum) / c
 			return lower + time.Duration(frac*float64(bound-lower))
@@ -201,5 +232,5 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		cum += c
 		lower = bound
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }

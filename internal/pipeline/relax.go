@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wetune/internal/constraint"
+	"wetune/internal/faultinject"
 	"wetune/internal/obs"
 	"wetune/internal/obs/journal"
 	"wetune/internal/template"
@@ -139,6 +140,7 @@ func (s *relaxer) prove(cs *constraint.Set) bool {
 		journal.Default().Record(journal.KindCacheMiss, -1, journal.CacheProof, 0)
 	}
 	s.ct.proverCalls.Add(1)
+	faultinject.Stall(faultinject.ProverStall)
 	begin := time.Now()
 	v := s.prover(ctx, s.src, s.dest, cs)
 	dur := time.Since(begin)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wetune/internal/faultinject"
 	"wetune/internal/obs"
 	"wetune/internal/obs/journal"
 	"wetune/internal/plan"
@@ -131,6 +132,22 @@ func (c *shardedLRU[V]) shard(key string) *lruShard[V] {
 // get looks up key, promoting it to most-recently-used on a hit.
 func (c *shardedLRU[V]) get(key string) (V, bool) {
 	sh := c.shard(key)
+	if faultinject.Armed() {
+		// Chaos points for both serving cache tiers: a stalled shard (sleep
+		// taken before the shard lock, so the stall slows this lookup, not
+		// every key hashing here) and a failed shard (forced miss, counted
+		// like a real one so hit/miss accounting stays monotone).
+		faultinject.Stall(faultinject.CacheSlow)
+		if faultinject.Fire(faultinject.CacheFail) {
+			sh.mu.Lock()
+			sh.misses.Add(1)
+			sh.mu.Unlock()
+			c.missC.Add(1)
+			journal.Default().Record(journal.KindCacheMiss, -1, c.cacheID, 0)
+			var zero V
+			return zero, false
+		}
+	}
 	sh.mu.Lock()
 	el, ok := sh.items[key]
 	if !ok {

@@ -126,6 +126,18 @@ func (rw *Rewriter) ExploreProvenance(p plan.Node, beam, depth int) (plan.Node, 
 // returns byte-identical results to ExploreWithStats.
 func ExploreOptions(beam, depth int) Options { return exploreOptions(beam, depth) }
 
+// GreedyOptions returns the budgets of a single-path greedy descent on the
+// indexed search engine: a frontier of one (always follow the best candidate
+// of each expansion), at most three steps, and a node budget of a few
+// expansions. This is the degraded serving level named "greedy" — it keeps
+// the rule index and memo of Search rather than reviving the retained
+// pre-index GreedyRewrite loop, which re-matches every rule at every node and
+// is ~100x slower per query than an indexed search (the opposite of what a
+// load-shedding tier wants).
+func GreedyOptions() Options {
+	return Options{MaxSteps: 3, MaxFrontier: 1, MaxNodes: 8}
+}
+
 // exploreOptions maps the §8.4 beam/depth parameterization onto Search
 // budgets.
 func exploreOptions(beam, depth int) Options {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"wetune/internal/faultinject"
 	"wetune/internal/obs"
 	"wetune/internal/obs/journal"
 	"wetune/internal/plan"
@@ -359,6 +360,12 @@ func (rw *Rewriter) SearchProvenance(p plan.Node, opts Options) (plan.Node, []Ap
 
 func (rw *Rewriter) searchImpl(p plan.Node, opts Options, prov *Provenance) (plan.Node, []Applied, Stats, *Provenance) {
 	opts = opts.withDefaults()
+	if faultinject.Fire(faultinject.SearchStarve) {
+		// Injected budget starvation: the search expands only the start
+		// state and truncates by "nodes", degrading to the best candidate of
+		// one expansion — the overload path a chaos run wants to prove safe.
+		opts.MaxNodes = 1
+	}
 	scratch := searchScratchPool.Get().(*searchScratch)
 	defer scratch.release()
 	sc := &searchCtx{

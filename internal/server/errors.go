@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 
+	"wetune/internal/faultinject"
 	"wetune/internal/sql"
 )
 
@@ -49,6 +50,17 @@ const jsonBufMaxPooled = 1 << 20
 // unknowable); write failures are ignored — headers are out the door and the
 // connection is the client's problem.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Chaos point: fail a *successful* response's encoding. Gated on
+	// status < 400 so the injected 500's own writeError → writeJSON call
+	// cannot re-inject (it arrives with status 500).
+	if status < 400 && faultinject.Fire(faultinject.EncodeError) {
+		w.Header().Set(injectedFaultHeader, string(faultinject.EncodeError))
+		writeError(w, http.StatusInternalServerError, apiError{
+			Code:    codeInternal,
+			Message: "injected fault: response encoding failed",
+		})
+		return
+	}
 	buf := jsonBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	// Compact encoding, deliberately: indentation costs ~12% of server CPU

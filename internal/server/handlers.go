@@ -12,7 +12,17 @@ import (
 	"time"
 
 	"wetune"
+	"wetune/internal/faultinject"
 	"wetune/internal/obs/journal"
+)
+
+// Response headers reporting serving conditions: the degradation-ladder level
+// a /v1/rewrite answer was served at, and the fault point behind an injected
+// (chaos-run) failure — load generators use the latter to separate injected
+// damage from real errors.
+const (
+	serviceLevelHeader  = "X-WeTune-Service-Level"
+	injectedFaultHeader = "X-WeTune-Injected-Fault"
 )
 
 // rewriteQuery is one query of a rewrite/explain request. App selects the
@@ -104,13 +114,28 @@ func (s *Server) instrumented(name string, h http.HandlerFunc) http.HandlerFunc 
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
-				reg.Counter("server_panics").Inc()
-				s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in %s handler: %v\n%s", name, p, debug.Stack()))
-				if !sw.wrote {
-					writeError(sw, http.StatusInternalServerError, apiError{
-						Code:    codeInternal,
-						Message: "internal error (panic recovered; see journal anomaly)",
-					})
+				if inj, ok := p.(faultinject.Injected); ok {
+					// An injected chaos panic: survivable by design, so it is
+					// counted apart from real panics, marked in the response,
+					// and kept out of the anomaly stream (a chaos soak would
+					// otherwise bury real anomalies under scheduled ones).
+					reg.Counter("server_injected_panics").Inc()
+					if !sw.wrote {
+						sw.Header().Set(injectedFaultHeader, string(inj.Point))
+						writeError(sw, http.StatusInternalServerError, apiError{
+							Code:    codeInternal,
+							Message: "injected fault: " + inj.Error(),
+						})
+					}
+				} else {
+					reg.Counter("server_panics").Inc()
+					s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in %s handler: %v\n%s", name, p, debug.Stack()))
+					if !sw.wrote {
+						writeError(sw, http.StatusInternalServerError, apiError{
+							Code:    codeInternal,
+							Message: "internal error (panic recovered; see journal anomaly)",
+						})
+					}
 				}
 			}
 			lat.Observe(time.Since(start))
@@ -247,6 +272,12 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	// The whole request — every batch item included — is served at the
+	// ladder's current level, reported once in the response header. Level
+	// changes mid-request apply to the next request, not this one.
+	level := s.CurrentServiceLevel()
+	w.Header().Set(serviceLevelHeader, level.String())
+
 	if single {
 		if err := s.adm.acquireWorker(ctx); err != nil {
 			writeError(w, http.StatusGatewayTimeout, apiError{
@@ -257,10 +288,11 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.adm.releaseWorker()
 		q := queries[0]
+		faultinject.MaybePanic(faultinject.HandlerPanic)
 		if s.cfg.beforeRewrite != nil {
 			s.cfg.beforeRewrite(q.SQL)
 		}
-		res, err := rq[0].opt.OptimizeSQLResultContext(ctx, q.SQL)
+		res, err := s.rewriteOne(ctx, rq[0], q.SQL, level)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, sqlErr(err))
 			return
@@ -304,7 +336,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 				if i >= len(queries) {
 					return
 				}
-				s.runBatchItem(ctx, i, queries[i], rq[i], out.Results, &errCount)
+				s.runBatchItem(ctx, i, queries[i], rq[i], out.Results, &errCount, level)
 			}
 		}()
 	}
@@ -322,20 +354,56 @@ type resolvedApp struct {
 	err *apiError
 }
 
+// rewriteOne runs one query at the given ladder level, filtered through the
+// app's circuit breaker: an open breaker forces the query to cache-only
+// regardless of the ladder, and a half-open breaker's probe outcome decides
+// whether it closes. Only outcomes of real searches feed the breaker — cache
+// hits and parse failures say nothing about search health — except that a
+// probe is always reported (the probe slot must be released; a probe answered
+// from cache counts as a success and closes the breaker, letting the next
+// miss re-open it if searches still truncate).
+func (s *Server) rewriteOne(ctx context.Context, rz resolvedApp, sqlText string, level ServiceLevel) (*wetune.RewriteResult, error) {
+	mode := level.mode()
+	br := s.breakerFor(rz.app)
+	var probe bool
+	if br != nil {
+		forced, p := br.admit(time.Now())
+		probe = p
+		if forced {
+			mode = wetune.ModeCacheOnly
+		}
+	}
+	res, err := rz.opt.OptimizeSQLResultMode(ctx, sqlText, mode)
+	if br != nil {
+		searched := err == nil && !res.Cached && mode != wetune.ModeCacheOnly
+		trunc := searched && res.Stats.TruncatedBy == "deadline"
+		if probe || searched {
+			br.observe(trunc, probe, time.Now())
+		}
+	}
+	return res, err
+}
+
 // runBatchItem executes one batch item inside a fan-out lane: wait for an
 // execution token (charged against the request deadline, with the wait
 // recorded per item), rewrite, and write the result into the item's slot. A
 // panic is isolated to the item — counted and journaled like a handler panic,
 // answered as an in-place internal error — so one poisoned query cannot take
 // down its batch siblings.
-func (s *Server) runBatchItem(ctx context.Context, i int, q rewriteQuery, rz resolvedApp, results []batchItem, errCount *atomic.Int64) {
+func (s *Server) runBatchItem(ctx context.Context, i int, q rewriteQuery, rz resolvedApp, results []batchItem, errCount *atomic.Int64, level ServiceLevel) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.cfg.Registry.Counter("server_panics").Inc()
-			s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in batch item %d: %v\n%s", i, p, debug.Stack()))
+			msg := "internal error (panic recovered; see journal anomaly)"
+			if inj, ok := p.(faultinject.Injected); ok {
+				s.cfg.Registry.Counter("server_injected_panics").Inc()
+				msg = "injected fault: " + inj.Error()
+			} else {
+				s.cfg.Registry.Counter("server_panics").Inc()
+				s.cfg.Journal.Anomaly(fmt.Sprintf("server: panic in batch item %d: %v\n%s", i, p, debug.Stack()))
+			}
 			results[i] = batchItem{App: rz.app, Error: &apiError{
 				Code:    codeInternal,
-				Message: "internal error (panic recovered; see journal anomaly)",
+				Message: msg,
 			}}
 			errCount.Add(1)
 		}
@@ -359,10 +427,11 @@ func (s *Server) runBatchItem(ctx context.Context, i int, q rewriteQuery, rz res
 	s.batchWait.Observe(wait)
 	s.batchItems.Inc()
 	s.cfg.Journal.Record(journal.KindBatchItem, -1, wait.Nanoseconds(), int64(i))
+	faultinject.MaybePanic(faultinject.HandlerPanic)
 	if s.cfg.beforeRewrite != nil {
 		s.cfg.beforeRewrite(q.SQL)
 	}
-	res, err := rz.opt.OptimizeSQLResultContext(ctx, q.SQL)
+	res, err := s.rewriteOne(ctx, rz, q.SQL, level)
 	if err != nil {
 		results[i] = batchItem{App: rz.app, Error: ptr(sqlErr(err))}
 		errCount.Add(1)
@@ -402,6 +471,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.releaseWorker()
+	faultinject.MaybePanic(faultinject.HandlerPanic)
 	if s.cfg.beforeRewrite != nil {
 		s.cfg.beforeRewrite(req.SQL)
 	}

@@ -88,6 +88,9 @@ type Config struct {
 	Registry *obs.Registry
 	// Journal receives anomaly events (default journal.Default).
 	Journal *journal.Journal
+	// Degradation tunes the overload ladder and per-app circuit breakers
+	// (see DegradationConfig; the zero value enables them with defaults).
+	Degradation DegradationConfig
 
 	// beforeRewrite, when set, runs inside the worker slot before each
 	// query's rewrite. Test instrumentation only: it lets the race/overload
@@ -120,6 +123,7 @@ func (c Config) withDefaults() Config {
 	if c.Journal == nil {
 		c.Journal = journal.Default()
 	}
+	c.Degradation = c.Degradation.withDefaults(c.RequestTimeout)
 	return c
 }
 
@@ -137,6 +141,15 @@ type Server struct {
 	batchReqs  *obs.Counter
 	batchItems *obs.Counter
 	batchWait  *obs.Histogram
+
+	// Degradation ladder (nil when Config.Degradation.Disabled) plus its
+	// controller goroutine's lifecycle, and the per-app circuit breakers.
+	lad      *ladder
+	ctrlStop chan struct{}
+	ctrlDone chan struct{}
+	ctrlOnce sync.Once
+	brkMu    sync.Mutex
+	breakers map[string]*breaker
 
 	// drainMu serializes the draining flip against in-flight registration:
 	// requests take the read side to check-and-register, Shutdown takes the
@@ -206,6 +219,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	sort.Strings(s.apps)
 
+	if !cfg.Degradation.Disabled {
+		s.lad = newLadder(cfg.Degradation, cfg.Registry, cfg.Journal)
+		s.breakers = make(map[string]*breaker, len(cfg.Schemas))
+		s.ctrlStop = make(chan struct{})
+		s.ctrlDone = make(chan struct{})
+		go s.controlLoop()
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rewrite", s.guarded("rewrite", s.handleRewrite))
 	mux.HandleFunc("POST /v1/explain", s.guarded("explain", s.handleExplain))
@@ -272,6 +293,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+
+	s.stopControl()
 
 	s.httpMu.Lock()
 	srv := s.httpSrv

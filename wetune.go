@@ -174,6 +174,60 @@ type RewriteResult struct {
 	// Cached reports that the result came from the Optimizer's result cache;
 	// Stats then describes the original (cached) search, not new work.
 	Cached bool `json:"cached,omitempty"`
+	// Mode names the degraded effort level that produced the result
+	// ("reduced", "greedy", "cache_only"). Empty for a full-effort rewrite,
+	// so the common case serializes exactly as before modes existed.
+	Mode string `json:"mode,omitempty"`
+}
+
+// RewriteMode selects how much search effort a rewrite spends. The serving
+// layer's degradation ladder steps down this scale under overload; library
+// callers can use it directly to trade result quality for latency.
+type RewriteMode int
+
+const (
+	// ModeFull is the normal effort level: ExploreOptions(12, 6), identical
+	// to OptimizeSQLResultContext's behavior before modes existed.
+	ModeFull RewriteMode = iota
+	// ModeReduced halves the search budgets (beam 6, depth 3): most
+	// single-rule rewrites still land, long enabler chains may not.
+	ModeReduced
+	// ModeGreedy follows only the best candidate of each expansion for at
+	// most three steps (rewrite.GreedyOptions) — bounded, near-constant
+	// work per query on the indexed engine.
+	ModeGreedy
+	// ModeCacheOnly answers from the result cache or passes the query
+	// through unchanged. It never parses or searches, so its cost is one
+	// cache lookup — the serving floor under extreme overload.
+	ModeCacheOnly
+)
+
+// String names the mode as the serving layer reports it
+// (X-WeTune-Service-Level header values).
+func (m RewriteMode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeReduced:
+		return "reduced"
+	case ModeGreedy:
+		return "greedy"
+	case ModeCacheOnly:
+		return "cache_only"
+	}
+	return "unknown"
+}
+
+// searchOptions maps a mode onto search budgets. ModeCacheOnly never
+// searches and has no options.
+func (m RewriteMode) searchOptions() rewrite.Options {
+	switch m {
+	case ModeReduced:
+		return rewrite.ExploreOptions(6, 3)
+	case ModeGreedy:
+		return rewrite.GreedyOptions()
+	}
+	return rewrite.ExploreOptions(12, 6)
 }
 
 // Optimize rewrites a logical plan, returning the improved plan and the rule
@@ -210,6 +264,20 @@ func (o *Optimizer) OptimizeSQLResult(query string) (*RewriteResult, error) {
 // the same. Deadline-truncated results are never stored in the result cache
 // — a slow client's partial answer must not be replayed to a patient one.
 func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) (*RewriteResult, error) {
+	return o.OptimizeSQLResultMode(ctx, query, ModeFull)
+}
+
+// OptimizeSQLResultMode is OptimizeSQLResultContext at an explicit effort
+// level. Every mode reads the result cache (a memoized full-effort answer is
+// at least as good as any degraded search), but only ModeFull results are
+// stored — a degraded answer must not be replayed to a caller entitled to
+// the full search. ModeCacheOnly never parses: a result-cache miss passes the
+// query through unchanged with zero-value stats, which is always correct SQL.
+func (o *Optimizer) OptimizeSQLResultMode(ctx context.Context, query string, mode RewriteMode) (*RewriteResult, error) {
+	modeName := ""
+	if mode != ModeFull {
+		modeName = mode.String()
+	}
 	// Both cache tiers key on the normalized text, so "SELECT 1" and
 	// "select  1 ;"-style formatting variants share entries... but only the
 	// whitespace/terminator kind of variant — normalization never rewrites
@@ -228,10 +296,14 @@ func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) 
 				CostAfter:  hit.CostAfter,
 				Stats:      hit.Stats,
 				Cached:     true,
+				Mode:       modeName,
 			}, nil
 		}
 	}
-	opts := rewrite.ExploreOptions(12, 6)
+	if mode == ModeCacheOnly {
+		return &RewriteResult{Input: query, Output: query, Mode: modeName}, nil
+	}
+	opts := mode.searchOptions()
 	if dl, ok := ctx.Deadline(); ok {
 		opts.Deadline = dl
 	}
@@ -269,8 +341,9 @@ func (o *Optimizer) OptimizeSQLResultContext(ctx context.Context, query string) 
 		CostBefore: stats.InitialCost,
 		CostAfter:  stats.FinalCost,
 		Stats:      stats,
+		Mode:       modeName,
 	}
-	if o.cache != nil && stats.TruncatedBy != "deadline" {
+	if o.cache != nil && mode == ModeFull && stats.TruncatedBy != "deadline" {
 		o.cache.Put(key, rewrite.CachedResult{
 			SQL:        res.Output,
 			Applied:    res.Applied,
